@@ -1,0 +1,87 @@
+"""Figure 8 — ImageNet training speedup, normalized to Pytorch-Opt.
+
+The paper normalizes to Pytorch-Opt here because Pytorch-Base "cannot even
+run due to the excessive amount of the memory consumption" — our memory
+model must reproduce that OOM, and the speedup series then compares
+DSXplore vs Opt only.
+"""
+from common import emit
+from repro.gpusim import (
+    MemoryModel,
+    OutOfMemoryError,
+    extract_layer_shapes,
+    tesla_v100,
+    training_step_time,
+)
+from repro.models import build_model
+from repro.models.registry import PAPER_MODELS
+from repro.utils import format_table
+
+SETTINGS_A = [(2, 0.5), (4, 0.5), (8, 0.5)]
+SETTINGS_B = [(2, 0.25), (2, 0.75)]
+BATCH = 64
+IMAGE = (3, 224, 224)
+
+
+def _build(name, cg, co):
+    kwargs = dict(scheme="scc", cg=cg, co=co, num_classes=1000)
+    if name.startswith(("resnet", "mobilenet")):
+        kwargs["imagenet_stem"] = True
+    return build_model(name, **kwargs)
+
+
+def report_fig8(device=None):
+    device = device or tesla_v100()
+    mm = MemoryModel(device)
+    oom_rows, speed_rows = [], []
+    for name in PAPER_MODELS:
+        for cg, co in SETTINGS_A + SETTINGS_B:
+            model = _build(name, cg, co)
+            shapes = extract_layer_shapes(model, IMAGE)
+            base_mem = mm.report(shapes, BATCH, "channel_stack", cc_enabled=False)
+            base_fits = base_mem.total <= device.mem_capacity
+            if (cg, co) == (2, 0.5):
+                oom_rows.append([name, f"{base_mem.total_mb / 1024:.1f} GB",
+                                 "fits" if base_fits else "OOM (paper: cannot run)"])
+            t_opt = training_step_time(shapes, BATCH, device, scc_strategy="conv_stack").total
+            t_dsx = training_step_time(shapes, BATCH, device, scc_strategy="dsxplore").total
+            speed_rows.append([name, cg, round(co * 100), f"{t_opt / t_dsx:.2f}"])
+    text = format_table(
+        ["Model", "Pytorch-Base footprint", "32GB V100"],
+        oom_rows,
+        title=f"Fig 8 precondition — Pytorch-Base memory at ImageNet scale (batch {BATCH})",
+    )
+    text += "\n\n" + format_table(
+        ["Model", "cg", "co%", "DSXplore speedup over Pytorch-Opt (x)"],
+        speed_rows,
+        title="Fig 8 — ImageNet training speedup (simulated V100)",
+    )
+    text += "\nExpected shape (paper): 1.95x to 3.88x over Pytorch-Opt."
+    return emit("fig8_training_speedup_imagenet", text), oom_rows, speed_rows
+
+
+def test_fig8_base_ooms_on_imagenet(device):
+    mm = MemoryModel(device)
+    model = _build("vgg16", 2, 0.5)
+    shapes = extract_layer_shapes(model, IMAGE)
+    import pytest
+
+    with pytest.raises(OutOfMemoryError):
+        mm.check(mm.report(shapes, BATCH, "channel_stack", cc_enabled=False), "Base")
+    mm.check(mm.report(shapes, BATCH, "conv_stack"))   # Opt fits
+
+
+def test_fig8_speedup_range(device):
+    _, _, rows = report_fig8(device)
+    ratios = [float(r[3]) for r in rows]
+    assert all(x > 1.0 for x in ratios)
+    assert 1.1 < sum(ratios) / len(ratios) < 5.0   # paper band 1.95-3.88
+
+
+def test_fig8_shape_extraction(benchmark):
+    model = _build("resnet50", 2, 0.5)
+    benchmark.pedantic(lambda: extract_layer_shapes(model, IMAGE), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    report_fig8()

@@ -1,0 +1,60 @@
+"""MobileNet head-to-head: DW+PW vs DW+GPW vs DW+SCC (paper Table IV story).
+
+Trains three pointwise-stage variants of the same MobileNet under identical
+seeds and data, then prints the accuracy/cost triangle of paper Table I:
+SCC should match GPW's cost while recovering (most of) PW's accuracy.
+
+Run:  python examples/mobilenet_ablation.py   (~2-3 min CPU)
+"""
+from repro.analysis import profile_model
+from repro.data import DataLoader, make_dataset, train_test_split
+from repro.models import build_mobilenet
+from repro.train import Trainer, TrainConfig
+from repro.utils import format_table, seed_all
+
+seed_all(0)
+# The calibrated reduced-scale protocol (see EXPERIMENTS.md): 8-channel
+# synthetic images whose label lives in cross-channel structure, and a
+# depth-truncated MobileNet that trains to well above chance in ~20s.
+dataset = make_dataset(900, num_classes=10, image_size=12, channels=8,
+                       latents=8, noise=0.3, seed=10)
+train_set, test_set = train_test_split(dataset, 0.2, seed=10)
+train_loader = DataLoader(train_set, batch_size=48, seed=11)
+test_loader = DataLoader(test_set, batch_size=96, shuffle=False)
+
+VARIANTS = [
+    ("Baseline (DW+PW)", "pw", 1, 0.0),
+    ("DW+GPW-cg4", "gpw", 4, 0.0),
+    ("DW+SCC-cg4-co50%", "scc", 4, 0.5),
+]
+
+SEEDS = (42, 43, 44)
+
+rows = []
+for label, scheme, cg, co in VARIANTS:
+    accs = []
+    prof = None
+    for seed in SEEDS:
+        seed_all(seed)
+        model = build_mobilenet(scheme=scheme, cg=cg, co=co, width_mult=0.5,
+                                num_blocks=4, num_classes=10, in_channels=8)
+        prof = profile_model(model, (8, 12, 12))
+        trainer = Trainer(model, TrainConfig(epochs=7, lr=0.1, momentum=0.9,
+                                             weight_decay=5e-4))
+        hist = trainer.fit(train_loader, test_loader)
+        accs.append(hist.best_test_acc)
+    mean = sum(accs) / len(accs)
+    spread = max(accs) - min(accs)
+    rows.append([label, f"{prof.mflops:.2f}", f"{prof.total_params:,}",
+                 f"{mean:.3f} (+-{spread / 2:.3f})"])
+    print(f"done: {label}: {['%.2f' % a for a in accs]}")
+
+print()
+print(format_table(
+    ["Network", "MFLOPs", "Params", "Test acc (3-seed mean)"],
+    rows,
+    title="MobileNet pointwise-stage ablation (mini model, chance = 0.10)",
+))
+print("\nPaper Table IV shape: cost(SCC-cg4) == cost(GPW-cg4) < cost(PW), with SCC")
+print("recovering accuracy via window overlap.  On this synthetic proxy the")
+print("SCC-vs-GPW accuracy gap sits within seed noise (see EXPERIMENTS.md).")

@@ -1,0 +1,22 @@
+"""Analytic cost accounting: exact FLOPs (MACs) and parameter counts.
+
+The paper reports "MFLOPs" that match multiply-accumulate counts (its
+standard-convolution formula ``Fw*Fw*Cout*W*W*Cin`` is MACs, not 2x MACs);
+we follow that convention so the cost columns of Tables II-IV are directly
+comparable.
+"""
+from repro.analysis.count import (
+    LayerCost,
+    ModelProfile,
+    profile_model,
+    conv_macs,
+    separable_macs,
+)
+
+__all__ = [
+    "LayerCost",
+    "ModelProfile",
+    "profile_model",
+    "conv_macs",
+    "separable_macs",
+]

@@ -1,0 +1,145 @@
+"""FLOPs/params profiler.
+
+:func:`profile_model` attaches forward hooks to every leaf module, runs one
+batch-1 forward pass to observe real activation shapes (this follows any
+custom ``forward``, residual connections included), and converts shapes +
+layer hyper-parameters into exact MAC counts.
+
+Conventions (matching the paper's formulas in Section II):
+
+- standard/grouped conv:  ``Hout*Wout * Cout * (Cin/groups) * K*K`` MACs
+- depthwise conv:         the ``groups == Cin`` case of the above
+- PW / GPW / SCC:         ``Hout*Wout * Cout * group_width`` MACs
+- linear:                 ``in_features * out_features``
+- BN / activations / pooling: 0 (the paper ignores them)
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import nn
+from repro.core.scc import SlidingChannelConv2d
+from repro.tensor import Tensor, no_grad
+
+
+@dataclass
+class LayerCost:
+    name: str
+    kind: str
+    macs: float
+    params: int
+    out_shape: tuple[int, ...]
+
+
+@dataclass
+class ModelProfile:
+    """Aggregate cost report for one model at one input shape."""
+
+    layers: list[LayerCost] = field(default_factory=list)
+
+    @property
+    def total_macs(self) -> float:
+        return sum(l.macs for l in self.layers)
+
+    @property
+    def total_params(self) -> int:
+        return sum(l.params for l in self.layers)
+
+    @property
+    def mflops(self) -> float:
+        """Paper-convention MFLOPs (MACs / 1e6)."""
+        return self.total_macs / 1e6
+
+    @property
+    def params_m(self) -> float:
+        return self.total_params / 1e6
+
+    def by_kind(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for l in self.layers:
+            out[l.kind] = out.get(l.kind, 0.0) + l.macs
+        return out
+
+
+def conv_macs(
+    cout: int, cin: int, kernel: int, hout: int, wout: int, groups: int = 1
+) -> float:
+    """Paper Section II formula for standard/grouped convolution MACs."""
+    return float(hout) * wout * cout * (cin // groups) * kernel * kernel
+
+
+def separable_macs(cin: int, cout: int, kernel: int, hout: int, wout: int) -> float:
+    """DW+PW MACs (paper: ``Cin*Fw*Fw*W*W + Cout*Fw*Fw*Cin``)."""
+    return float(hout) * wout * cin * kernel * kernel + float(hout) * wout * cout * cin
+
+
+def _module_params(module: nn.Module) -> int:
+    return sum(p.size for p in module._parameters.values() if p is not None)
+
+
+def _layer_cost(module: nn.Module, out_shape: tuple[int, ...], name: str) -> LayerCost | None:
+    params = _module_params(module)
+    if isinstance(module, SlidingChannelConv2d):
+        _, cout, h, w = out_shape
+        macs = float(h) * w * cout * module.config.group_width
+        return LayerCost(name, "scc", macs, params, out_shape)
+    if isinstance(module, nn.Conv2d):
+        _, cout, h, w = out_shape
+        kind = "conv"
+        if module.groups == module.in_channels == module.out_channels:
+            kind = "dw"
+        elif module.kernel_size == 1:
+            kind = "pw" if module.groups == 1 else "gpw"
+        elif module.groups > 1:
+            kind = "gc"
+        macs = conv_macs(
+            module.out_channels, module.in_channels, module.kernel_size, h, w, module.groups
+        )
+        return LayerCost(name, kind, macs, params, out_shape)
+    if isinstance(module, nn.Linear):
+        macs = float(module.in_features) * module.out_features
+        return LayerCost(name, "linear", macs, params, out_shape)
+    if isinstance(module, nn.BatchNorm2d):
+        return LayerCost(name, "bn", 0.0, params, out_shape)
+    if params:
+        # Any other parametric leaf must be accounted; refuse to silently
+        # under-count.
+        raise TypeError(
+            f"no cost rule for parametric module {type(module).__name__} at {name!r}"
+        )
+    return None
+
+
+_CONTAINER_TYPES = (nn.Sequential, nn.ModuleList)
+
+
+def profile_model(model: nn.Module, input_shape: tuple[int, ...]) -> ModelProfile:
+    """Profile ``model`` on a zero batch of ``input_shape`` (C, H, W)."""
+    profile = ModelProfile()
+    handles = []
+    for name, module in model.named_modules():
+        if isinstance(module, _CONTAINER_TYPES) or module is model:
+            continue
+        if module._modules and not isinstance(module, (nn.Conv2d, SlidingChannelConv2d, nn.Linear)):
+            continue  # only leaves carry cost rules
+
+        def hook(mod, inputs, output, name=name):
+            cost = _layer_cost(mod, output.shape, name)
+            if cost is not None:
+                profile.layers.append(cost)
+
+        handles.append(module.register_forward_hook(hook))
+
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            x = Tensor(np.zeros((1, *input_shape), dtype=np.float32))
+            model(x)
+    finally:
+        for h in handles:
+            h.remove()
+        model.train(was_training)
+    return profile

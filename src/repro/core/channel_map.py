@@ -1,0 +1,185 @@
+"""Sliding-channel window algebra (paper Section III + Algorithm 1).
+
+An SCC layer with ``Cin`` input channels, ``cg`` channel groups and overlap
+ratio ``co`` gives every output filter a *window* of
+``group_width = Cin // cg`` input channels.  Adjacent filters' windows are
+shifted by ``stride = group_width - int(co * group_width)`` channels, and
+the channel axis is cyclic: the last input channel is logically adjacent to
+the first (paper Figure 5).
+
+Because the window start advances by a fixed stride modulo ``Cin``, the
+window sequence is purely periodic; :func:`compute_channel_cycle` is the
+paper's Algorithm 1 (verbatim control flow) and discovers the period
+``cyclic_dist``.  Filter ``oid`` then reuses
+``windows[oid % cyclic_dist]`` — the Algorithm-2 index-reuse trick.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SCCConfig:
+    """Validated hyper-parameters of one SCC layer.
+
+    ``co`` is the *input-channel overlap ratio* between adjacent filters; the
+    paper writes configurations as ``SCC-cgX-coY%``.  The degenerate corners
+    (paper Table I footnotes): ``cg=1, co→100%`` is PW; ``co=0%`` is GPW.
+    """
+
+    in_channels: int
+    out_channels: int
+    cg: int
+    co: float
+
+    def __post_init__(self) -> None:
+        if self.in_channels <= 0 or self.out_channels <= 0:
+            raise ValueError(
+                f"channels must be positive, got Cin={self.in_channels}, "
+                f"Cout={self.out_channels}"
+            )
+        if self.cg < 1:
+            raise ValueError(f"cg must be >= 1, got {self.cg}")
+        if self.in_channels % self.cg:
+            raise ValueError(
+                f"cg={self.cg} must divide the number of input channels "
+                f"({self.in_channels})"
+            )
+        if not 0.0 <= self.co < 1.0:
+            # co == 1.0 would give a zero slide: every filter reads the same
+            # window, which silently degenerates the layer.  The PW corner is
+            # expressed as cg=1 (full-width windows) instead.
+            raise ValueError(f"co must be in [0, 1), got {self.co}")
+
+    @property
+    def group_width(self) -> int:
+        """Input channels consumed by each filter (Cin / cg)."""
+        return self.in_channels // self.cg
+
+    @property
+    def overlap_channels(self) -> int:
+        """Number of input channels shared by adjacent filters."""
+        return int(self.co * self.group_width)
+
+    @property
+    def slide_stride(self) -> int:
+        """Channel shift between adjacent filters' windows."""
+        return self.group_width - self.overlap_channels
+
+    @property
+    def cyclic_dist(self) -> int:
+        return cyclic_distance(self.in_channels, self.cg, self.co, self.out_channels)
+
+    def label(self) -> str:
+        """Paper-style name, e.g. ``SCC-cg2-co50%``."""
+        return f"SCC-cg{self.cg}-co{round(self.co * 100)}%"
+
+
+def compute_channel_cycle(
+    in_channels: int, cg: int, co: float, out_channels: int
+) -> list[tuple[int, int]]:
+    """Paper Algorithm 1: window (start, end) pairs of the first cycle.
+
+    ``end`` is reported modulo ``Cin`` so a wrapped (or full-width) window
+    has ``end <= start``.  The cycle ends at the first repeated window or
+    after ``out_channels`` filters, whichever is first.
+
+    One correction to the paper's pseudo-code: Algorithm 1 stores the very
+    first window as ``(0, group_width)`` *before* any modulo, while every
+    later window stores ``end % Cin``.  For ``cg == 1`` (full-width windows,
+    the PW corner) the first entry would be ``(0, Cin)`` and the identical
+    second window ``(0, 0)`` would not be recognised as a repeat, reporting
+    ``cyclic_dist = 2`` instead of 1.  We canonicalise ``end`` modulo ``Cin``
+    from the start; the window *index sets* are unchanged.
+    """
+    cfg = SCCConfig(in_channels, out_channels, cg, co)
+    group_width = cfg.group_width
+    channel_map: dict[tuple[int, int], int] = {}
+    start, end = 0, group_width % in_channels
+    start_v, end_v = 0, group_width
+    for _oid in range(out_channels):
+        item = (start, end)
+        if item in channel_map:
+            break
+        channel_map[item] = len(channel_map)
+        start_v = end_v - cfg.overlap_channels
+        end_v = start_v + group_width
+        start = start_v % in_channels
+        end = end_v % in_channels
+    return list(channel_map.keys())
+
+
+def cyclic_distance(in_channels: int, cg: int, co: float, out_channels: int) -> int:
+    """Length of the window cycle (``cyclic_dist`` of Algorithm 1).
+
+    Closed form: with slide stride ``s``, window starts are ``k*s mod Cin``,
+    so the period is ``Cin / gcd(Cin, s)`` (1 when ``s == 0``), capped by the
+    number of filters.  Checked against the iterative Algorithm 1 in the test
+    suite.
+    """
+    cfg = SCCConfig(in_channels, out_channels, cg, co)
+    s = cfg.slide_stride
+    period = 1 if s == 0 else in_channels // gcd(in_channels, s)
+    return min(period, out_channels)
+
+
+def channel_windows(in_channels: int, out_channels: int, cg: int, co: float) -> np.ndarray:
+    """Per-filter input-channel index matrix of shape (Cout, group_width).
+
+    Row ``oid`` lists, in order, the input channels filter ``oid`` reads.
+    Built through the Algorithm-2 reuse: only the first cycle is computed,
+    later filters index into it modulo ``cyclic_dist``.
+    """
+    cfg = SCCConfig(in_channels, out_channels, cg, co)
+    cycle = compute_channel_cycle(in_channels, cg, co, out_channels)
+    gw = cfg.group_width
+    starts = np.array([s for s, _ in cycle], dtype=np.int64)
+    base = (starts[:, None] + np.arange(gw)[None, :]) % in_channels
+    oid = np.arange(out_channels)
+    return base[oid % len(cycle)]
+
+
+def window_segments(start: int, width: int, in_channels: int) -> list[tuple[slice, slice]]:
+    """Split one (possibly wrapped) window into contiguous channel slices.
+
+    Returns ``[(input_channel_slice, weight_column_slice), ...]`` — one
+    segment when the window does not wrap past ``Cin``, two when it does.
+    The fused DSXplore kernel uses these to read input channels through
+    zero-copy views instead of gather copies.
+    """
+    if width > in_channels:
+        raise ValueError(f"window width {width} exceeds Cin={in_channels}")
+    start %= in_channels
+    end = start + width
+    if end <= in_channels:
+        return [(slice(start, end), slice(0, width))]
+    first = in_channels - start
+    return [
+        (slice(start, in_channels), slice(0, first)),
+        (slice(0, end - in_channels), slice(first, width)),
+    ]
+
+
+def reverse_window_map(windows: np.ndarray, in_channels: int) -> list[np.ndarray]:
+    """Input-centric view of the window matrix.
+
+    For each input channel ``c``, return an integer array of ``(oid, col)``
+    pairs (shape ``(k, 2)``) listing every filter that reads ``c`` and at
+    which weight column — the "pull" index set of the input-centric backward
+    pass (paper Figure 4b).
+    """
+    cout, gw = windows.shape
+    flat = windows.reshape(-1)
+    order = np.argsort(flat, kind="stable")
+    oid = order // gw
+    col = order % gw
+    sorted_channels = flat[order]
+    boundaries = np.searchsorted(sorted_channels, np.arange(in_channels + 1))
+    result = []
+    for c in range(in_channels):
+        lo, hi = boundaries[c], boundaries[c + 1]
+        result.append(np.stack([oid[lo:hi], col[lo:hi]], axis=1))
+    return result

@@ -1,0 +1,83 @@
+"""(cg, co) design-space enumeration — the "Xplore" in DSXplore.
+
+The paper frames SCC as a *space* of factorized kernels indexed by the
+channel-group count ``cg`` and the overlap ratio ``co``, with PW and GPW as
+its corners (Table I).  This module enumerates valid design points for a
+layer shape, attaches their analytic FLOPs/params, and extracts Pareto
+fronts for accuracy-vs-cost exploration.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.channel_map import SCCConfig, cyclic_distance
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One SCC configuration with its analytic costs for a given layer."""
+
+    cg: int
+    co: float
+    flops: float           # MACs for one spatial position x Fw*Fw, see below
+    params: int
+    cyclic_dist: int
+    accuracy: float | None = None   # filled in by exploration runs
+
+    def label(self) -> str:
+        return f"SCC-cg{self.cg}-co{round(self.co * 100)}%"
+
+    def with_accuracy(self, acc: float) -> "DesignPoint":
+        return replace(self, accuracy=acc)
+
+
+def layer_costs(in_channels: int, out_channels: int, cg: int, spatial: int = 1) -> tuple[float, int]:
+    """(FLOPs, params) of one SCC/GPW layer at a ``spatial x spatial`` map.
+
+    Each of the ``Cout`` filters does ``Cin/cg`` multiply-accumulates per
+    pixel.  Note the cost depends on ``cg`` only — ``co`` is free (paper
+    Table IV: co changes accuracy, not cost; Fig. 12: nor runtime).
+    """
+    gw = in_channels // cg
+    flops = 2.0 * out_channels * gw * spatial * spatial
+    params = out_channels * gw
+    return flops, params
+
+
+def enumerate_configs(
+    in_channels: int,
+    out_channels: int,
+    cgs: tuple[int, ...] = (1, 2, 4, 8),
+    cos: tuple[float, ...] = (0.0, 0.25, 1.0 / 3.0, 0.5, 0.75),
+    spatial: int = 1,
+) -> list[DesignPoint]:
+    """All valid design points for a layer shape, skipping invalid combos."""
+    points = []
+    for cg in cgs:
+        if in_channels % cg or out_channels % cg:
+            continue
+        for co in cos:
+            try:
+                SCCConfig(in_channels, out_channels, cg, co)
+            except ValueError:
+                continue
+            flops, params = layer_costs(in_channels, out_channels, cg, spatial)
+            cd = cyclic_distance(in_channels, cg, co, out_channels)
+            points.append(DesignPoint(cg=cg, co=co, flops=flops, params=params, cyclic_dist=cd))
+    return points
+
+
+def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Points not dominated on (lower flops, lower params, higher accuracy).
+
+    Points lacking an accuracy value are compared on cost alone.
+    """
+
+    def dominates(a: DesignPoint, b: DesignPoint) -> bool:
+        acc_a = a.accuracy if a.accuracy is not None else 0.0
+        acc_b = b.accuracy if b.accuracy is not None else 0.0
+        no_worse = a.flops <= b.flops and a.params <= b.params and acc_a >= acc_b
+        better = a.flops < b.flops or a.params < b.params or acc_a > acc_b
+        return no_worse and better
+
+    return [p for p in points if not any(dominates(q, p) for q in points if q is not p)]

@@ -1,0 +1,84 @@
+"""Factorized kernels + pruning (paper Section II-C's "potential research
+direction").
+
+The paper argues its kernel redesign is orthogonal to weight pruning and
+flags the combination as future work.  This module implements the simplest
+principled combination: global magnitude pruning of SCC weights with mask
+re-application after each optimizer step (the standard masked-training
+recipe), plus sparsity-aware cost accounting so the design-space tools can
+include pruned points.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import nn
+from repro.core.scc import SlidingChannelConv2d
+
+
+@dataclass
+class PruningReport:
+    """What a pruning pass did to a model."""
+
+    layers_pruned: int
+    weights_total: int
+    weights_zeroed: int
+
+    @property
+    def sparsity(self) -> float:
+        return self.weights_zeroed / max(self.weights_total, 1)
+
+
+class SCCPruner:
+    """Global magnitude pruning over every SCC layer in a model.
+
+    ``sparsity`` is the global fraction of SCC weights to zero; the
+    threshold is computed over all SCC layers jointly, so thin layers are
+    not forced to the same local sparsity as wide ones.
+    """
+
+    def __init__(self, model: nn.Module, sparsity: float) -> None:
+        if not 0.0 <= sparsity < 1.0:
+            raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+        self.model = model
+        self.sparsity = sparsity
+        self.masks: dict[int, np.ndarray] = {}
+        self._layers = [
+            m for _, m in model.named_modules() if isinstance(m, SlidingChannelConv2d)
+        ]
+        if not self._layers:
+            raise ValueError("model contains no SCC layers to prune")
+
+    def prune(self) -> PruningReport:
+        """Compute masks from current magnitudes and zero the weights."""
+        magnitudes = np.concatenate(
+            [np.abs(layer.weight.data).reshape(-1) for layer in self._layers]
+        )
+        if self.sparsity == 0.0:
+            threshold = -np.inf
+        else:
+            threshold = np.quantile(magnitudes, self.sparsity)
+        zeroed = 0
+        for layer in self._layers:
+            mask = (np.abs(layer.weight.data) > threshold).astype(np.float32)
+            self.masks[id(layer)] = mask
+            layer.weight.data = layer.weight.data * mask
+            zeroed += int((mask == 0).sum())
+        return PruningReport(
+            layers_pruned=len(self._layers),
+            weights_total=int(magnitudes.size),
+            weights_zeroed=zeroed,
+        )
+
+    def reapply(self) -> None:
+        """Re-zero pruned positions (call after each optimizer step)."""
+        if not self.masks:
+            raise RuntimeError("reapply() before prune(); no masks computed")
+        for layer in self._layers:
+            layer.weight.data = layer.weight.data * self.masks[id(layer)]
+
+    def effective_parameters(self) -> int:
+        """Nonzero SCC weights (for sparsity-aware cost reporting)."""
+        return int(sum((layer.weight.data != 0).sum() for layer in self._layers))

@@ -1,0 +1,341 @@
+"""The three SCC execution strategies (paper Section IV) as ndarray kernels.
+
+SCC is spatially 1x1 (it replaces the PW stage of a DW+PW block), so an SCC
+layer is fully described by the input ``x (N, Cin, H, W)``, the weight
+``w (Cout, group_width)`` and the window matrix from
+:mod:`repro.core.channel_map`.
+
+Strategy classes (each bundles forward + full backward, mirroring one of the
+paper's implementations, and exposes instrumentation counters that
+:mod:`repro.gpusim` cross-checks):
+
+================  =====================================================
+ChannelStack      *Pytorch-Base*: gather every filter's window into one
+                  huge (N, Cout, gw, H, W) stacked tensor (massive data
+                  duplication), then one grouped reduction.  Backward
+                  keeps the stacked tensor and scatter-adds the input
+                  gradient (the "conflict update" of paper Fig. 4a).
+ConvStackCC       *Pytorch-Opt*: channel-cyclic optimisation — only the
+                  ``cyclic_dist`` distinct windows of the first cycle are
+                  gathered (copied); each drives one small GEMM.
+Dsxplore          the fused kernel: output-centric forward reading input
+                  channels through zero-copy views (no gather, no
+                  duplication), input-centric backward computing each
+                  input-gradient pixel as a "pull" reduction with zero
+                  scatter/atomic traffic.  ``backward_design`` can be set
+                  to ``"output_centric"`` to get the paper's
+                  *DSXplore-Var* ablation (scatter/atomics emulated with
+                  ``np.add.at``, which serialises conflicting updates
+                  exactly like GPU atomics do).
+================  =====================================================
+
+CPU/GPU mapping note (DESIGN.md section 2): relative costs transfer because
+the dominant effects — materialised bytes, number of distinct kernel
+invocations, and serialised conflicting updates — exist on both targets.
+``np.add.at`` is NumPy's unbuffered scatter-add: conflicting updates are
+applied sequentially, which is the same serialisation GPU atomics pay.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.channel_map import (
+    SCCConfig,
+    channel_windows,
+    compute_channel_cycle,
+    window_segments,
+)
+
+
+@dataclass
+class KernelStats:
+    """Instrumentation counters accumulated by one strategy invocation."""
+
+    bytes_materialized: int = 0      # temporary buffers allocated (data duplication)
+    gemm_calls: int = 0              # distinct contraction launches
+    scatter_adds: int = 0            # elementwise updates via scatter (atomic analog)
+    conflicting_scatter_adds: int = 0  # scatter updates hitting already-touched cells
+
+    def reset(self) -> None:
+        self.bytes_materialized = 0
+        self.gemm_calls = 0
+        self.scatter_adds = 0
+        self.conflicting_scatter_adds = 0
+
+
+def scc_forward_reference(x: np.ndarray, w: np.ndarray, windows: np.ndarray) -> np.ndarray:
+    """Dead-simple loop implementation of paper Eq. for SCC; tests only."""
+    n, cin, h, wdt = x.shape
+    cout, gw = w.shape
+    out = np.zeros((n, cout, h, wdt), dtype=np.result_type(x, w))
+    for o in range(cout):
+        for g in range(gw):
+            out[:, o] += w[o, g] * x[:, windows[o, g]]
+    return out.astype(x.dtype)
+
+
+class _StrategyBase:
+    """Shared config plumbing for the three strategies."""
+
+    def __init__(self, config: SCCConfig) -> None:
+        self.config = config
+        self.windows = channel_windows(
+            config.in_channels, config.out_channels, config.cg, config.co
+        )
+        self.cycle = compute_channel_cycle(
+            config.in_channels, config.cg, config.co, config.out_channels
+        )
+        self.cyclic_dist = len(self.cycle)
+        self.stats = KernelStats()
+
+    def _check_shapes(self, x: np.ndarray, w: np.ndarray) -> None:
+        cfg = self.config
+        if x.ndim != 4 or x.shape[1] != cfg.in_channels:
+            raise ValueError(
+                f"expected input (N, {cfg.in_channels}, H, W), got {x.shape}"
+            )
+        if w.shape != (cfg.out_channels, cfg.group_width):
+            raise ValueError(
+                f"expected weight ({cfg.out_channels}, {cfg.group_width}), got {w.shape}"
+            )
+
+    def forward(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(
+        self, grad_out: np.ndarray, need_input_grad: bool = True, need_weight_grad: bool = True
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        raise NotImplementedError
+
+
+class ChannelStack(_StrategyBase):
+    """*Pytorch-Base*: channel-stack implementation (paper Fig. 3a).
+
+    Steps 1-4 of the paper: index -> extract -> concatenate -> grouped conv.
+    The concatenated tensor has ``Cout * group_width`` channels — ``cg``-fold
+    larger than the input even before overlap, which is why this strategy
+    OOMs at ImageNet scale (paper Section V-C).
+    """
+
+    def forward(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        self._check_shapes(x, w)
+        self.stats.reset()
+        # Steps 1-3: one fancy-index gather == slice+concat of every window.
+        stacked = x[:, self.windows]                      # (N, Cout, gw, H, W) copy
+        self.stats.bytes_materialized += stacked.nbytes
+        self.stats.gemm_calls += 1
+        self._x = x
+        self._w = w
+        self._stacked = stacked
+        # Step 4: grouped convolution with groups == Cout.
+        return np.einsum("noghw,og->nohw", stacked, w, optimize=True)
+
+    def backward(self, grad_out, need_input_grad=True, need_weight_grad=True):
+        w, stacked = self._w, self._stacked
+        grad_x = grad_w = None
+        if need_weight_grad:
+            grad_w = np.einsum("nohw,noghw->og", grad_out, stacked, optimize=True)
+            self.stats.gemm_calls += 1
+        if need_input_grad:
+            # Reverse of the concat/extract: scatter the stacked gradient
+            # back, with conflicts wherever windows overlap.
+            grad_stacked = np.einsum("nohw,og->noghw", grad_out, w, optimize=True)
+            self.stats.bytes_materialized += grad_stacked.nbytes
+            self.stats.gemm_calls += 1
+            grad_x = np.zeros_like(self._x)
+            n = grad_out.shape[0]
+            idx_n = np.arange(n)[:, None, None]
+            np.add.at(grad_x, (idx_n, self.windows[None, :, :]), grad_stacked)
+            self._count_scatter(grad_stacked.size)
+        return grad_x, grad_w
+
+    def _count_scatter(self, total_updates: int) -> None:
+        cfg = self.config
+        self.stats.scatter_adds += total_updates
+        # Each input channel is read by Cout*gw/Cin filters on average; every
+        # read beyond the first conflicts during the scatter.
+        reads_per_channel = cfg.out_channels * cfg.group_width / cfg.in_channels
+        conflict_fraction = max(0.0, 1.0 - 1.0 / reads_per_channel)
+        self.stats.conflicting_scatter_adds += int(total_updates * conflict_fraction)
+
+
+class ConvStackCC(_StrategyBase):
+    """*Pytorch-Opt*: convolution-stack with channel-cyclic optimisation.
+
+    Only the first cycle of distinct windows is extracted (paper Fig. 6b);
+    filters ``p, p+cd, p+2cd, ...`` share window ``p`` and run as one GPW-like
+    GEMM.  Output channels are written strided (the "concatenation" step is
+    an interleave, done without an extra buffer here).
+    """
+
+    def forward(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        self._check_shapes(x, w)
+        self.stats.reset()
+        cfg = self.config
+        cd = self.cyclic_dist
+        n, _, h, wdt = x.shape
+        out = np.empty((n, cfg.out_channels, h, wdt), dtype=x.dtype)
+        self._gathered: list[np.ndarray] = []
+        gw = cfg.group_width
+        for p, (start, _end) in enumerate(self.cycle):
+            idx = (start + np.arange(gw)) % cfg.in_channels
+            win = x[:, idx]                               # (N, gw, H, W) copy
+            self.stats.bytes_materialized += win.nbytes
+            self._gathered.append(win)
+            out[:, p::cd] = np.einsum("nghw,og->nohw", win, w[p::cd], optimize=True)
+            self.stats.gemm_calls += 1
+        self._x = x
+        self._w = w
+        return out
+
+    def backward(self, grad_out, need_input_grad=True, need_weight_grad=True):
+        cfg = self.config
+        cd = self.cyclic_dist
+        gw = cfg.group_width
+        w = self._w
+        grad_x = np.zeros_like(self._x) if need_input_grad else None
+        grad_w = np.empty_like(w) if need_weight_grad else None
+        for p, (start, _end) in enumerate(self.cycle):
+            idx = (start + np.arange(gw)) % cfg.in_channels
+            g = grad_out[:, p::cd]
+            if need_weight_grad:
+                grad_w[p::cd] = np.einsum("nohw,nghw->og", g, self._gathered[p], optimize=True)
+                self.stats.gemm_calls += 1
+            if need_input_grad:
+                contrib = np.einsum("nohw,og->nghw", g, w[p::cd], optimize=True)
+                self.stats.bytes_materialized += contrib.nbytes
+                self.stats.gemm_calls += 1
+                # Within one cycle position the window channels are distinct,
+                # so a fancy-index += is conflict-free; conflicts across
+                # cycle positions are resolved by this serial per-p loop
+                # (framework-level serialisation, the paper's point about
+                # composed-operator implementations).
+                grad_x[:, idx] += contrib
+                self.stats.scatter_adds += contrib.size
+        return grad_x, grad_w
+
+
+class Dsxplore(_StrategyBase):
+    """The fused DSXplore kernel (paper Section IV-B).
+
+    Forward — *output-centric*: every output pixel ``out[n, o, y, x]`` is an
+    independent dot product ``w[o, :] . x[n, win(o), y, x]`` (one GPU thread
+    each in the paper).  Vectorised here as one contraction per cycle
+    position *per contiguous window segment*, reading ``x`` through
+    zero-copy channel-slice views — no gather, no duplication.
+
+    Backward — *input-centric* by default: the dense per-output-channel
+    weight matrix ``W_full (Cout, Cin)`` (zeros outside each filter's
+    window) turns the input gradient into one pull-style GEMM
+    ``grad_x = grad_out . W_full`` with zero scatter traffic; each
+    input-gradient pixel is produced by exactly one reduction, the CPU
+    analog of "one thread per input pixel, no atomics" (paper Fig. 4b).
+    ``backward_design="output_centric"`` switches to the *DSXplore-Var*
+    push design: materialise per-filter contributions and scatter-add them
+    into the input gradient, conflicts serialised by ``np.add.at`` the way
+    GPU atomics serialise colliding updates.
+    """
+
+    def __init__(self, config: SCCConfig, backward_design: str = "input_centric") -> None:
+        super().__init__(config)
+        if backward_design not in ("input_centric", "output_centric"):
+            raise ValueError(
+                f"backward_design must be 'input_centric' or 'output_centric', "
+                f"got {backward_design!r}"
+            )
+        self.backward_design = backward_design
+        # Algorithm 2: the per-cycle segment table is computed once and
+        # reused by every forward/backward call (channel-cyclic index reuse).
+        self._segments = [
+            window_segments(start, config.group_width, config.in_channels)
+            for start, _ in self.cycle
+        ]
+
+    def forward(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        self._check_shapes(x, w)
+        self.stats.reset()
+        cfg = self.config
+        cd = self.cyclic_dist
+        n, _, h, wdt = x.shape
+        out = np.zeros((n, cfg.out_channels, h, wdt), dtype=x.dtype)
+        for p, segments in enumerate(self._segments):
+            wp = w[p::cd]
+            for chan_slice, col_slice in segments:
+                # x[:, chan_slice] is a view — zero bytes materialised.
+                out[:, p::cd] += np.einsum(
+                    "nchw,oc->nohw", x[:, chan_slice], wp[:, col_slice], optimize=True
+                )
+                self.stats.gemm_calls += 1
+        self._x = x
+        self._w = w
+        return out
+
+    def backward(self, grad_out, need_input_grad=True, need_weight_grad=True):
+        grad_w = self._backward_weight(grad_out) if need_weight_grad else None
+        grad_x = None
+        if need_input_grad:
+            if self.backward_design == "input_centric":
+                grad_x = self._backward_input_pull(grad_out)
+            else:
+                grad_x = self._backward_input_push(grad_out)
+        return grad_x, grad_w
+
+    def _backward_weight(self, grad_out: np.ndarray) -> np.ndarray:
+        cd = self.cyclic_dist
+        x = self._x
+        grad_w = np.empty_like(self._w)
+        for p, segments in enumerate(self._segments):
+            g = grad_out[:, p::cd]
+            for chan_slice, col_slice in segments:
+                grad_w[p::cd, col_slice] = np.einsum(
+                    "nohw,nchw->oc", g, x[:, chan_slice], optimize=True
+                )
+                self.stats.gemm_calls += 1
+        return grad_w
+
+    def _backward_input_pull(self, grad_out: np.ndarray) -> np.ndarray:
+        """Input-centric: one dense pull GEMM, zero scatter updates."""
+        cfg = self.config
+        w_full = np.zeros((cfg.out_channels, cfg.in_channels), dtype=self._w.dtype)
+        oid = np.arange(cfg.out_channels)[:, None]
+        w_full[oid, self.windows] = self._w     # collision-free: rows distinct
+        self.stats.bytes_materialized += w_full.nbytes
+        grad_x = np.einsum("nohw,oc->nchw", grad_out, w_full, optimize=True)
+        self.stats.gemm_calls += 1
+        return grad_x.astype(self._x.dtype, copy=False)
+
+    def _backward_input_push(self, grad_out: np.ndarray) -> np.ndarray:
+        """Output-centric (*DSXplore-Var*): push with serialised conflicts."""
+        cfg = self.config
+        contrib = np.einsum("nohw,og->noghw", grad_out, self._w, optimize=True)
+        self.stats.bytes_materialized += contrib.nbytes
+        self.stats.gemm_calls += 1
+        grad_x = np.zeros_like(self._x)
+        n = grad_out.shape[0]
+        idx_n = np.arange(n)[:, None, None]
+        np.add.at(grad_x, (idx_n, self.windows[None, :, :]), contrib)
+        self.stats.scatter_adds += contrib.size
+        reads_per_channel = cfg.out_channels * cfg.group_width / cfg.in_channels
+        conflict_fraction = max(0.0, 1.0 - 1.0 / reads_per_channel)
+        self.stats.conflicting_scatter_adds += int(contrib.size * conflict_fraction)
+        return grad_x
+
+
+STRATEGIES = {
+    "channel_stack": ChannelStack,
+    "conv_stack": ConvStackCC,
+    "dsxplore": Dsxplore,
+}
+
+
+def make_strategy(name: str, config: SCCConfig, **kwargs) -> _StrategyBase:
+    """Instantiate a strategy by paper name (see module docstring table)."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown SCC strategy {name!r}; available: {sorted(STRATEGIES)}"
+        ) from None
+    return cls(config, **kwargs)

@@ -1,0 +1,104 @@
+"""Shift convolution (paper Section II-B, ref [10]) — the zero-FLOP spatial op.
+
+The paper cites Shift convolution as the other post-DW factorized-kernel
+idea: replace the depthwise *convolution* with a per-channel spatial
+*shift* (zero FLOPs, zero parameters) and let the following pointwise stage
+do all the learning.  We include it so the factorized-kernel taxonomy of
+Figure 1 is complete and Shift+SCC blocks can be explored as a design point
+beyond the paper's DW+SCC.
+
+Channels are assigned the 9 displacement vectors of a 3x3 neighbourhood
+round-robin (the grouping used by the original Shift paper); shifted-in
+borders are zero.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.tensor.function import Function
+
+
+def shift_offsets(channels: int, kernel_size: int = 3) -> np.ndarray:
+    """(channels, 2) integer (dy, dx) displacement per channel."""
+    if kernel_size % 2 == 0 or kernel_size < 1:
+        raise ValueError(f"kernel_size must be odd and positive, got {kernel_size}")
+    half = kernel_size // 2
+    grid = [(dy, dx) for dy in range(-half, half + 1) for dx in range(-half, half + 1)]
+    return np.array([grid[c % len(grid)] for c in range(channels)], dtype=np.int64)
+
+
+def _apply_shift(x: np.ndarray, offsets: np.ndarray, reverse: bool = False) -> np.ndarray:
+    """Shift each channel by its (dy, dx), zero-filling exposed borders."""
+    out = np.zeros_like(x)
+    h, w = x.shape[2], x.shape[3]
+    for c in range(x.shape[1]):
+        dy, dx = offsets[c]
+        if reverse:
+            dy, dx = -dy, -dx
+        src_y = slice(max(0, -dy), min(h, h - dy))
+        src_x = slice(max(0, -dx), min(w, w - dx))
+        dst_y = slice(max(0, dy), min(h, h + dy))
+        dst_x = slice(max(0, dx), min(w, w + dx))
+        out[:, c, dst_y, dst_x] = x[:, c, src_y, src_x]
+    return out
+
+
+class ShiftFunction(Function):
+    """Autograd shift op; the VJP of a shift is the opposite shift."""
+
+    def forward(self, x: np.ndarray, offsets: np.ndarray = None) -> np.ndarray:
+        if offsets is None or offsets.shape != (x.shape[1], 2):
+            raise ValueError(
+                f"offsets must be (C, 2) for C={x.shape[1]}, got "
+                f"{None if offsets is None else offsets.shape}"
+            )
+        self.offsets = offsets
+        return _apply_shift(x, offsets)
+
+    def backward(self, grad: np.ndarray):
+        return (_apply_shift(grad, self.offsets, reverse=True),)
+
+
+class ShiftConv2d(nn.Module):
+    """Per-channel spatial shift: zero FLOPs, zero parameters."""
+
+    def __init__(self, channels: int, kernel_size: int = 3) -> None:
+        super().__init__()
+        self.channels = channels
+        self.kernel_size = kernel_size
+        self.offsets = shift_offsets(channels, kernel_size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[1] != self.channels:
+            raise ValueError(
+                f"ShiftConv2d({self.channels}) got {x.shape[1]} channels"
+            )
+        return ShiftFunction.apply(x, offsets=self.offsets)
+
+    def __repr__(self) -> str:
+        return f"ShiftConv2d({self.channels}, k={self.kernel_size})"
+
+
+class ShiftSCCBlock(nn.Module):
+    """Shift (spatial) + BN + ReLU + SCC (channel fusion) — a design point
+    beyond the paper's DW+SCC: zero spatial FLOPs and params."""
+
+    def __init__(self, in_channels: int, out_channels: int, cg: int = 2,
+                 co: float = 0.5, impl: str = "dsxplore",
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        from repro.core.scc import SlidingChannelConv2d
+
+        self.shift = ShiftConv2d(in_channels)
+        self.bn1 = nn.BatchNorm2d(in_channels)
+        self.act1 = nn.ReLU()
+        self.pointwise = SlidingChannelConv2d(in_channels, out_channels, cg=cg,
+                                              co=co, bias=False, impl=impl, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        self.act2 = nn.ReLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.act1(self.bn1(self.shift(x)))
+        return self.act2(self.bn2(self.pointwise(x)))

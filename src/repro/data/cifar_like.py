@@ -1,0 +1,27 @@
+"""CIFAR-10 stand-in: 10 classes, 3x32x32 (paper Section V-A, substituted).
+
+``image_size`` defaults to 16 for CPU-scale training loops; pass 32 for the
+full CIFAR geometry (used by the analytic benchmarks, where only shapes
+matter).
+"""
+from __future__ import annotations
+
+from repro.data.synthetic import SyntheticImageDataset, make_dataset
+
+
+def cifar10_like(
+    num_samples: int = 2000,
+    image_size: int = 16,
+    channels: int = 3,
+    noise: float = 0.35,
+    seed: int = 0,
+) -> SyntheticImageDataset:
+    return make_dataset(
+        num_samples,
+        num_classes=10,
+        image_size=image_size,
+        channels=channels,
+        latents=6,
+        noise=noise,
+        seed=seed,
+    )

@@ -1,0 +1,129 @@
+"""Single-kernel cost model: roofline + occupancy + atomic serialisation.
+
+``time(kernel) = launch_overhead
+               + max(flops / (peak * occupancy * efficiency),
+                     bytes / bandwidth)
+               + conflicting_atomics / atomic_rate``
+
+This is deliberately simple — it captures the effects the paper's
+comparisons hinge on (see package docstring) and is easy to audit.  The
+``efficiency`` knob expresses how far a kernel's inner loop sits from peak
+(GEMM-like kernels run near peak; gather/scatter memcpy kernels are
+bandwidth-bound anyway so their efficiency barely matters).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.device import DeviceSpec
+
+
+@dataclass
+class KernelLaunch:
+    """One GPU kernel launch described by its aggregate resource demands."""
+
+    name: str
+    threads: int
+    flops: float = 0.0                  # total floating-point ops
+    bytes_read: float = 0.0             # DRAM traffic in
+    bytes_written: float = 0.0          # DRAM traffic out
+    atomic_ops: float = 0.0             # total atomic updates issued
+    atomic_conflict_fraction: float = 0.0  # fraction serialised by conflicts
+    compute_efficiency: float = 0.7     # fraction of peak at full occupancy
+    bandwidth_efficiency: float = 1.0   # achieved/peak DRAM bw (strided access < 1)
+    framework_op: bool = False          # launched via framework op dispatch
+    #   (tensor slicing/concat/conv composed in PyTorch pay per-op dispatch
+    #   overhead on top of the raw launch; hand-fused kernels do not — this
+    #   is the paper's "excessive inefficient Pytorch operations" effect)
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0:
+            raise ValueError(f"kernel {self.name!r}: threads must be positive")
+        if not 0.0 <= self.atomic_conflict_fraction <= 1.0:
+            raise ValueError(
+                f"kernel {self.name!r}: conflict fraction must be in [0,1], "
+                f"got {self.atomic_conflict_fraction}"
+            )
+        if not 0.0 < self.compute_efficiency <= 1.0:
+            raise ValueError(
+                f"kernel {self.name!r}: compute efficiency must be in (0,1], "
+                f"got {self.compute_efficiency}"
+            )
+        if not 0.0 < self.bandwidth_efficiency <= 1.0:
+            raise ValueError(
+                f"kernel {self.name!r}: bandwidth efficiency must be in (0,1], "
+                f"got {self.bandwidth_efficiency}"
+            )
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+
+@dataclass
+class KernelTime:
+    """Per-kernel timing breakdown (seconds)."""
+
+    name: str
+    launch: float
+    compute: float
+    memory: float
+    atomic: float
+
+    @property
+    def total(self) -> float:
+        return self.launch + max(self.compute, self.memory) + self.atomic
+
+
+def kernel_time(kernel: KernelLaunch, device: DeviceSpec) -> KernelTime:
+    occ = device.occupancy(kernel.threads)
+    effective_flops = device.peak_flops * occ * kernel.compute_efficiency
+    compute = kernel.flops / effective_flops if kernel.flops else 0.0
+    memory = kernel.total_bytes / (device.mem_bandwidth * kernel.bandwidth_efficiency)
+    atomic = (
+        kernel.atomic_ops * kernel.atomic_conflict_fraction / device.atomic_conflict_rate
+    )
+    launch = device.kernel_launch_overhead
+    if kernel.framework_op:
+        launch += device.framework_op_overhead
+    return KernelTime(
+        name=kernel.name,
+        launch=launch,
+        compute=compute,
+        memory=memory,
+        atomic=atomic,
+    )
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate over a kernel sequence."""
+
+    kernels: list[KernelTime] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return sum(k.total for k in self.kernels)
+
+    @property
+    def launch_time(self) -> float:
+        return sum(k.launch for k in self.kernels)
+
+    @property
+    def atomic_time(self) -> float:
+        return sum(k.atomic for k in self.kernels)
+
+    @property
+    def num_launches(self) -> int:
+        return len(self.kernels)
+
+    def breakdown(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for k in self.kernels:
+            out[k.name] = out.get(k.name, 0.0) + k.total
+        return out
+
+
+def simulate_kernels(kernels: list[KernelLaunch], device: DeviceSpec) -> SimulationResult:
+    """Serially execute a kernel sequence (one CUDA stream)."""
+    return SimulationResult([kernel_time(k, device) for k in kernels])

@@ -1,0 +1,116 @@
+"""Peak-memory model: weights + activations + gradients + strategy temporaries.
+
+Reproduces paper Figure 10 (channel-cyclic optimisation cuts the stacked
+buffers from one-per-filter to one-per-cycle) and the Figure 8 observation
+that Pytorch-Base "cannot even run" on ImageNet shapes.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.workloads import DTYPE_BYTES, LayerShape
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a workload's footprint exceeds device capacity."""
+
+
+@dataclass
+class MemoryReport:
+    """Byte-level footprint breakdown for one training configuration."""
+
+    weights: int = 0
+    activations: int = 0          # saved for backward
+    gradients: int = 0            # parameter + activation grads (worst layer)
+    temporaries: int = 0          # strategy-specific stacked/gathered buffers
+    by_layer: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.weights + self.activations + self.gradients + self.temporaries
+
+    @property
+    def total_mb(self) -> float:
+        return self.total / (1024**2)
+
+
+def _layer_param_bytes(shape: LayerShape) -> int:
+    if shape.kind in ("conv", "dw", "pw", "gpw", "gc"):
+        return shape.cout * (shape.cin // shape.groups) * shape.kernel**2 * DTYPE_BYTES
+    if shape.kind == "linear":
+        return shape.features_in * shape.features_out * DTYPE_BYTES
+    if shape.kind == "scc":
+        return shape.cout * shape.scc.group_width * DTYPE_BYTES
+    if shape.kind == "bn":
+        return 2 * shape.cin * DTYPE_BYTES
+    return 0
+
+
+def _scc_temporary_bytes(shape: LayerShape, batch: int, strategy: str, cc_enabled: bool) -> int:
+    """Stacked/gathered buffer bytes an SCC strategy keeps live.
+
+    Without the channel-cyclic (CC) optimisation, both composed-operator
+    strategies must materialise one window *per filter* (``Cout`` windows);
+    with CC only the ``cyclic_dist`` distinct windows of the first cycle are
+    kept (paper Fig. 6).  The fused DSXplore kernel materialises nothing.
+    """
+    geo = shape.scc
+    hw = shape.hout * shape.wout
+    window_bytes = batch * geo.group_width * hw * DTYPE_BYTES
+    if strategy == "dsxplore":
+        return 0
+    n_windows = geo.cyclic_dist if cc_enabled else shape.cout
+    if strategy == "channel_stack":
+        # The concatenated tensor additionally exists as one contiguous
+        # buffer alongside the slices while concat runs.
+        return 2 * n_windows * window_bytes
+    if strategy == "conv_stack":
+        return n_windows * window_bytes
+    raise ValueError(f"unknown SCC strategy {strategy!r}")
+
+
+class MemoryModel:
+    """Footprint accounting for one model + batch + strategy combination."""
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+
+    def report(
+        self,
+        shapes: list[LayerShape],
+        batch: int,
+        scc_strategy: str = "dsxplore",
+        cc_enabled: bool = True,
+        training: bool = True,
+    ) -> MemoryReport:
+        rep = MemoryReport()
+        for shape in shapes:
+            pbytes = _layer_param_bytes(shape)
+            rep.weights += pbytes
+            act = shape.out_elements(batch) * DTYPE_BYTES if shape.cout else 0
+            layer_bytes = pbytes + (act if training else 0)
+            if training:
+                rep.activations += act
+                rep.gradients += pbytes  # parameter grads persist across step
+            if shape.kind == "scc":
+                tmp = _scc_temporary_bytes(shape, batch, scc_strategy, cc_enabled)
+                rep.temporaries += tmp
+                layer_bytes += tmp
+            rep.by_layer[shape.name] = rep.by_layer.get(shape.name, 0) + layer_bytes
+        if training:
+            # Largest transient activation gradient (freed layer to layer).
+            rep.gradients += max(
+                (s.out_elements(batch) * DTYPE_BYTES for s in shapes if s.cout),
+                default=0,
+            )
+        return rep
+
+    def check(self, report: MemoryReport, context: str = "") -> None:
+        """Raise :class:`OutOfMemoryError` if the footprint doesn't fit."""
+        if report.total > self.device.mem_capacity:
+            raise OutOfMemoryError(
+                f"{context or 'workload'} needs {report.total_mb:.0f} MB but "
+                f"{self.device.name} has "
+                f"{self.device.mem_capacity / 1024**2:.0f} MB"
+            )

@@ -1,0 +1,71 @@
+"""Model registry: paper-name -> builder, with the paper's configurations.
+
+``build_model("vgg16")`` gives the origin network;
+``build_model("vgg16", scheme="scc", cg=2, co=0.5)`` gives its DSXplore form.
+"""
+from __future__ import annotations
+
+from functools import partial
+from typing import Callable
+
+import numpy as np
+
+from repro import nn
+from repro.models.mobilenet import build_mobilenet
+from repro.models.resnet import build_resnet
+from repro.models.vgg import build_vgg
+
+MODEL_BUILDERS: dict[str, Callable[..., nn.Module]] = {
+    "vgg16": partial(build_vgg, "vgg16"),
+    "vgg19": partial(build_vgg, "vgg19"),
+    "mobilenet": build_mobilenet,
+    "resnet18": partial(build_resnet, "resnet18"),
+    "resnet50": partial(build_resnet, "resnet50"),
+}
+
+# The five networks of the paper's evaluation, in its presentation order.
+PAPER_MODELS = ("vgg16", "vgg19", "mobilenet", "resnet18", "resnet50")
+
+
+def available_models() -> tuple[str, ...]:
+    return tuple(sorted(MODEL_BUILDERS))
+
+
+def build_model(
+    name: str,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    scheme: str | None = None,
+    cg: int = 2,
+    co: float = 0.5,
+    width_mult: float = 1.0,
+    imagenet_stem: bool = False,
+    impl: str = "dsxplore",
+    rng: np.random.Generator | None = None,
+) -> nn.Module:
+    """Build a model by paper name.
+
+    ``scheme=None`` is the origin network; ``scheme in {"pw","gpw","scc"}``
+    is the factorized (DSXplore-converted) network.  VGG has no ImageNet-stem
+    variant here (the paper evaluates it on CIFAR), so ``imagenet_stem`` is
+    ignored for VGG.
+    """
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; available: {available_models()}"
+        ) from None
+    kwargs = dict(
+        num_classes=num_classes,
+        in_channels=in_channels,
+        scheme=scheme,
+        cg=cg,
+        co=co,
+        width_mult=width_mult,
+        impl=impl,
+        rng=rng,
+    )
+    if name.startswith(("resnet", "mobilenet")):
+        kwargs["imagenet_stem"] = imagenet_stem
+    return builder(**kwargs)

@@ -1,0 +1,37 @@
+"""Stateless NN math helpers (softmax family, one-hot, accuracy)."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax built from autograd primitives."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.min() < 0 or labels.max() >= num_classes:
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): min={labels.min()}, max={labels.max()}"
+        )
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def accuracy(logits: Tensor | np.ndarray, labels: np.ndarray) -> float:
+    arr = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    pred = arr.argmax(axis=-1)
+    return float((pred == np.asarray(labels)).mean())

@@ -1,0 +1,60 @@
+"""Weight initializers (kaiming / xavier), matching PyTorch defaults.
+
+All draw from :func:`repro.utils.rng.get_rng` so a single ``seed_all`` call
+makes model construction deterministic.
+"""
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import get_rng
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 2:
+        raise ValueError(f"fan in/out undefined for shape {shape}")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """He initialization for ReLU networks (std = sqrt(2 / fan_in))."""
+    gen = rng if rng is not None else get_rng()
+    fan_in, _ = _fan_in_out(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return (gen.standard_normal(shape) * std).astype(np.float32)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """PyTorch's default conv/linear init (a=sqrt(5) leaky-relu gain)."""
+    gen = rng if rng is not None else get_rng()
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + 5.0))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return gen.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    gen = rng if rng is not None else get_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return (gen.standard_normal(shape) * std).astype(np.float32)
+
+
+def uniform_bias(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """PyTorch bias default: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    gen = rng if rng is not None else get_rng()
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    return gen.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,180 @@
+"""Module / Parameter containers with PyTorch-compatible traversal."""
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A Tensor that is a trainable leaf of a Module."""
+
+    def __init__(self, data: Any) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class: children auto-registered via attribute assignment."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_forward_hooks", [])
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal ----------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{name}.")
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- mode / grads --------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for child in self.children():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- state dict (ndarray snapshots) ---------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, module in self.named_modules():
+            for bname, buf in getattr(module, "_buffers", {}).items():
+                key = f"{name}.{bname}" if name else bname
+                state[key] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        buffers: dict[str, tuple[Module, str]] = {}
+        for name, module in self.named_modules():
+            for bname in getattr(module, "_buffers", {}):
+                key = f"{name}.{bname}" if name else bname
+                buffers[key] = (module, bname)
+        for key, value in state.items():
+            if key in own:
+                if own[key].data.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: model {own[key].data.shape} vs state {value.shape}"
+                    )
+                own[key].data = value.astype(own[key].data.dtype).copy()
+            elif key in buffers:
+                module, bname = buffers[key]
+                module._buffers[bname] = value.copy()
+                object.__setattr__(module, bname, module._buffers[bname])
+            else:
+                raise KeyError(f"unexpected key in state dict: {key}")
+
+    # -- call protocol --------------------------------------------------------
+    def forward(self, *args: Any, **kwargs: Any) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Tensor:
+        out = self.forward(*args, **kwargs)
+        for hook in self._forward_hooks:
+            hook(self, args, out)
+        return out
+
+    def register_forward_hook(self, hook) -> "HookHandle":
+        """Register ``hook(module, inputs, output)`` to run after forward."""
+        self._forward_hooks.append(hook)
+        return HookHandle(self._forward_hooks, hook)
+
+    def __repr__(self) -> str:
+        lines = [type(self).__name__ + "("]
+        for name, child in self._modules.items():
+            child_repr = repr(child).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child_repr}")
+        lines.append(")")
+        return "\n".join(lines) if self._modules else type(self).__name__ + "()"
+
+
+class HookHandle:
+    """Removable registration returned by ``register_forward_hook``."""
+
+    def __init__(self, hook_list: list, hook) -> None:
+        self._hook_list = hook_list
+        self._hook = hook
+
+    def remove(self) -> None:
+        if self._hook in self._hook_list:
+            self._hook_list.remove(self._hook)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for i, m in enumerate(modules):
+            setattr(self, str(i), m)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for child in self._modules.values():
+            x = child(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]
+
+
+class ModuleList(Module):
+    """List container whose elements are registered children."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        self._count = 0
+        for m in modules:
+            self.append(m)
+
+    def append(self, module: Module) -> "ModuleList":
+        setattr(self, str(self._count), module)
+        object.__setattr__(self, "_count", self._count + 1)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._modules[str(idx % self._count if idx < 0 else idx)]

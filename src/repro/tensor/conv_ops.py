@@ -1,0 +1,245 @@
+"""Convolution, pooling and batch-norm autograd kernels (NCHW layout).
+
+These are the "cuDNN primitives" of the reproduction: the standard / grouped
+convolution here is what the paper's *Pytorch-Base* and *Pytorch-Opt* SCC
+strategies composite (Section IV-A), while the fused DSXplore SCC kernel
+lives in :mod:`repro.core.scc_kernels`.
+
+Implementation idiom (per the session HPC guides): the input patch matrix is
+a zero-copy strided *view* (``as_strided``), reductions are ``einsum`` calls
+over that view so no im2col buffer is ever materialised, and the data-grad
+scatter runs as ``KH*KW`` strided accumulations instead of a per-element
+``np.add.at`` scatter.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.function import Function
+
+
+def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial size of a convolution/pooling window sweep."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces empty output: size={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def _patch_view(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Zero-copy (N, C, Ho, Wo, KH, KW) sliding-window view of padded input."""
+    n, c, h, w = x.shape
+    ho = (h - kh) // stride + 1
+    wo = (w - kw) // stride + 1
+    if ho <= 0 or wo <= 0:
+        raise ValueError(
+            f"window of {kh}x{kw} (stride {stride}) produces empty output on "
+            f"{h}x{w} input — input too small for this layer stack"
+        )
+    sn, sc, sh, sw = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, ho, wo, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+
+
+class Conv2d(Function):
+    """Standard / grouped 2D convolution.
+
+    ``weight`` has shape ``(Cout, Cin // groups, KH, KW)``.  Depthwise
+    convolution is the ``groups == Cin`` special case; pointwise is
+    ``KH == KW == 1`` — exactly the taxonomy of paper Figure 1.
+    """
+
+    def forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+    ) -> np.ndarray:
+        n, cin, h, w = x.shape
+        cout, cin_g, kh, kw = weight.shape
+        if cin % groups or cout % groups:
+            raise ValueError(f"groups={groups} must divide Cin={cin} and Cout={cout}")
+        if cin_g != cin // groups:
+            raise ValueError(
+                f"weight expects {cin_g} input channels per group but input provides "
+                f"{cin // groups} (Cin={cin}, groups={groups})"
+            )
+        self.stride, self.padding, self.groups = stride, padding, groups
+
+        xp = x if padding == 0 else np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        self.save_for_backward(xp, weight, x.shape)
+        patches = _patch_view(xp, kh, kw, stride)
+        out_per_group = cout // groups
+        if groups == 1:
+            return np.einsum("nchwij,ocij->nohw", patches, weight, optimize=True)
+        outs = np.empty(
+            (n, cout, patches.shape[2], patches.shape[3]), dtype=x.dtype
+        )
+        cg = cin // groups
+        for g in range(groups):
+            outs[:, g * out_per_group : (g + 1) * out_per_group] = np.einsum(
+                "nchwij,ocij->nohw",
+                patches[:, g * cg : (g + 1) * cg],
+                weight[g * out_per_group : (g + 1) * out_per_group],
+                optimize=True,
+            )
+        return outs
+
+    def backward(self, grad: np.ndarray):
+        xp, weight, x_shape = self.saved
+        stride, padding, groups = self.stride, self.padding, self.groups
+        cout, cin_g, kh, kw = weight.shape
+        n = xp.shape[0]
+        ho, wo = grad.shape[2], grad.shape[3]
+
+        patches = _patch_view(xp, kh, kw, stride)
+        cg = xp.shape[1] // groups
+        og = cout // groups
+
+        need_x = self.needs_input_grad[0]
+        need_w = len(self.needs_input_grad) > 1 and self.needs_input_grad[1]
+
+        grad_w = np.zeros_like(weight) if need_w else None
+        grad_xp = np.zeros_like(xp) if need_x else None
+
+        for g in range(groups):
+            gsl = slice(g * og, (g + 1) * og)
+            csl = slice(g * cg, (g + 1) * cg)
+            gout = grad[:, gsl]
+            if need_w:
+                grad_w[gsl] = np.einsum(
+                    "nohw,nchwij->ocij", gout, patches[:, csl], optimize=True
+                )
+            if need_x:
+                # Scatter the data gradient as KH*KW strided accumulations.
+                wg = weight[gsl]
+                for i in range(kh):
+                    for j in range(kw):
+                        contrib = np.einsum("nohw,oc->nchw", gout, wg[:, :, i, j], optimize=True)
+                        grad_xp[:, csl, i : i + ho * stride : stride, j : j + wo * stride : stride] += contrib
+
+        grad_x = None
+        if need_x:
+            if padding:
+                grad_x = np.ascontiguousarray(
+                    grad_xp[:, :, padding:-padding, padding:-padding]
+                )
+            else:
+                grad_x = grad_xp
+        results = [grad_x]
+        if len(self.needs_input_grad) > 1:
+            results.append(grad_w)
+        return tuple(results)
+
+
+class MaxPool2d(Function):
+    """Max pooling with optional padding; supports overlapping windows."""
+
+    def forward(self, x: np.ndarray, kernel: int, stride: int, padding: int = 0) -> np.ndarray:
+        self.kernel, self.stride, self.padding = kernel, stride, padding
+        self.in_shape = x.shape
+        if padding:
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+                constant_values=-np.inf,
+            )
+        self.padded_shape = x.shape
+        patches = _patch_view(x, kernel, kernel, stride)
+        n, c, ho, wo = patches.shape[:4]
+        flat = patches.reshape(n, c, ho, wo, kernel * kernel)
+        self.argmax = flat.argmax(axis=-1)
+        return flat.max(axis=-1)
+
+    def backward(self, grad: np.ndarray):
+        kernel, stride, padding = self.kernel, self.stride, self.padding
+        n, c, hp, wp = self.padded_shape
+        ho, wo = grad.shape[2], grad.shape[3]
+        gxp = np.zeros((n, c, hp, wp), dtype=grad.dtype)
+        ki = self.argmax // kernel
+        kj = self.argmax % kernel
+        ni, ci, yi, xi = np.indices(grad.shape, sparse=False)
+        rows = yi * stride + ki
+        cols = xi * stride + kj
+        np.add.at(gxp, (ni, ci, rows, cols), grad)
+        if padding:
+            gxp = np.ascontiguousarray(gxp[:, :, padding:-padding, padding:-padding])
+        return (gxp,)
+
+
+class AvgPool2d(Function):
+    """Average pooling (non-overlapping fast path via reshape)."""
+
+    def forward(self, x: np.ndarray, kernel: int, stride: int | None = None) -> np.ndarray:
+        stride = kernel if stride is None else stride
+        if stride != kernel:
+            raise NotImplementedError("AvgPool2d supports stride == kernel only")
+        n, c, h, w = x.shape
+        if h % kernel or w % kernel:
+            raise ValueError(f"spatial dims ({h},{w}) not divisible by kernel {kernel}")
+        self.kernel = kernel
+        self.in_shape = x.shape
+        return x.reshape(n, c, h // kernel, kernel, w // kernel, kernel).mean(axis=(3, 5))
+
+    def backward(self, grad: np.ndarray):
+        k = self.kernel
+        scale = 1.0 / (k * k)
+        g = np.repeat(np.repeat(grad, k, axis=2), k, axis=3) * scale
+        return (g.astype(grad.dtype),)
+
+
+class BatchNorm2d(Function):
+    """Training-mode batch normalisation over (N, H, W) per channel.
+
+    A fused kernel (rather than composing mean/var ops) because BN sits in
+    every residual block and dominates graph-node count otherwise.
+    """
+
+    def forward(
+        self,
+        x: np.ndarray,
+        gamma: np.ndarray,
+        beta: np.ndarray,
+        eps: float = 1e-5,
+    ) -> np.ndarray:
+        axes = (0, 2, 3)
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + eps)
+        xhat = (x - mean) * inv_std
+        self.save_for_backward(xhat, inv_std, gamma)
+        self.batch_mean = mean.reshape(-1)
+        self.batch_var = var.reshape(-1)
+        return gamma.reshape(1, -1, 1, 1) * xhat + beta.reshape(1, -1, 1, 1)
+
+    def backward(self, grad: np.ndarray):
+        xhat, inv_std, gamma = self.saved
+        axes = (0, 2, 3)
+        m = grad.shape[0] * grad.shape[2] * grad.shape[3]
+        grad_gamma = (grad * xhat).sum(axis=axes)
+        grad_beta = grad.sum(axis=axes)
+        g = grad * gamma.reshape(1, -1, 1, 1)
+        grad_x = (
+            inv_std
+            / m
+            * (
+                m * g
+                - g.sum(axis=axes, keepdims=True)
+                - xhat * (g * xhat).sum(axis=axes, keepdims=True)
+            )
+        ).astype(grad.dtype)
+        results = [grad_x]
+        if len(self.needs_input_grad) > 1:
+            results.append(grad_gamma.astype(grad.dtype))
+        if len(self.needs_input_grad) > 2:
+            results.append(grad_beta.astype(grad.dtype))
+        return tuple(results)

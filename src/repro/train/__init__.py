@@ -1,0 +1,16 @@
+"""Training substrate: optimizers, losses, trainer loop, data-parallel sim."""
+from repro.train.optim import SGD, StepLR, CosineLR
+from repro.train.loss import cross_entropy
+from repro.train.trainer import Trainer, TrainConfig, EpochStats
+from repro.train.parallel import DataParallelTrainer
+
+__all__ = [
+    "SGD",
+    "StepLR",
+    "CosineLR",
+    "cross_entropy",
+    "Trainer",
+    "TrainConfig",
+    "EpochStats",
+    "DataParallelTrainer",
+]

@@ -1,0 +1,23 @@
+"""Classification losses."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.tensor import Tensor
+
+
+def cross_entropy(
+    logits: Tensor, labels: np.ndarray, label_smoothing: float = 0.0
+) -> Tensor:
+    """Mean cross-entropy between logits (N, C) and integer labels (N,)."""
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, C), got shape {logits.shape}")
+    if not 0.0 <= label_smoothing < 1.0:
+        raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+    n, c = logits.shape
+    target = F.one_hot(np.asarray(labels), c)
+    if label_smoothing:
+        target = (1.0 - label_smoothing) * target + label_smoothing / c
+    logp = F.log_softmax(logits, axis=-1)
+    return -(logp * Tensor(target)).sum() / float(n)

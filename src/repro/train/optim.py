@@ -1,0 +1,92 @@
+"""SGD with momentum / weight decay, and learning-rate schedules."""
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class SGD:
+    """Classic SGD: ``v = mu*v + g + wd*p;  p -= lr*v`` (PyTorch semantics)."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                if self._velocity[i] is None:
+                    self._velocity[i] = g.copy()
+                else:
+                    self._velocity[i] = self.momentum * self._velocity[i] + g
+                g = (
+                    g + self.momentum * self._velocity[i]
+                    if self.nesterov
+                    else self._velocity[i]
+                )
+            p.data = p.data - self.lr * g
+
+
+class StepLR:
+    """Multiply lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: SGD, step_size: int, gamma: float = 0.1) -> None:
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineLR:
+    """Cosine annealing from base lr to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: SGD, total_epochs: int, min_lr: float = 0.0) -> None:
+        if total_epochs < 1:
+            raise ValueError(f"total_epochs must be >= 1, got {total_epochs}")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch = min(self.epoch + 1, self.total_epochs)
+        t = self.epoch / self.total_epochs
+        self.optimizer.lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1 + math.cos(math.pi * t)
+        )

@@ -1,0 +1,132 @@
+"""End-to-end training / evaluation loops with per-epoch metric history."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro import nn
+from repro.data.loaders import DataLoader
+from repro.nn import functional as F
+from repro.tensor import Tensor, no_grad
+from repro.train.loss import cross_entropy
+from repro.train.optim import SGD
+
+
+@dataclass
+class TrainConfig:
+    epochs: int = 5
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    label_smoothing: float = 0.0
+    grad_clip: float | None = None
+    verbose: bool = False
+
+
+@dataclass
+class EpochStats:
+    epoch: int
+    train_loss: float
+    train_acc: float
+    test_acc: float | None = None
+
+
+@dataclass
+class History:
+    epochs: list[EpochStats] = field(default_factory=list)
+
+    @property
+    def final_test_acc(self) -> float | None:
+        for stats in reversed(self.epochs):
+            if stats.test_acc is not None:
+                return stats.test_acc
+        return None
+
+    @property
+    def best_test_acc(self) -> float | None:
+        accs = [e.test_acc for e in self.epochs if e.test_acc is not None]
+        return max(accs) if accs else None
+
+    @property
+    def losses(self) -> list[float]:
+        return [e.train_loss for e in self.epochs]
+
+
+def clip_gradients(model: nn.Module, max_norm: float) -> float:
+    """Global-norm gradient clipping; returns the pre-clip norm."""
+    grads = [p.grad for p in model.parameters() if p.grad is not None]
+    total = float(np.sqrt(sum(float((g.astype(np.float64) ** 2).sum()) for g in grads)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for g in grads:
+            g *= scale
+    return total
+
+
+class Trainer:
+    """Single-device trainer (the paper's 1-GPU setting, on CPU)."""
+
+    def __init__(
+        self,
+        model: nn.Module,
+        config: TrainConfig | None = None,
+        scheduler_factory: Callable[[SGD], object] | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config or TrainConfig()
+        self.optimizer = SGD(
+            model.parameters(),
+            lr=self.config.lr,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+        self.scheduler = scheduler_factory(self.optimizer) if scheduler_factory else None
+        self.history = History()
+
+    def train_step(self, images: np.ndarray, labels: np.ndarray) -> tuple[float, float]:
+        """One optimisation step; returns (loss, accuracy) on the batch."""
+        self.model.train()
+        self.optimizer.zero_grad()
+        logits = self.model(Tensor(images))
+        loss = cross_entropy(logits, labels, self.config.label_smoothing)
+        loss.backward()
+        if self.config.grad_clip is not None:
+            clip_gradients(self.model, self.config.grad_clip)
+        self.optimizer.step()
+        return float(loss.data), F.accuracy(logits, labels)
+
+    def evaluate(self, loader: DataLoader) -> float:
+        self.model.eval()
+        correct = total = 0
+        with no_grad():
+            for images, labels in loader:
+                logits = self.model(Tensor(images))
+                correct += int((logits.data.argmax(axis=1) == labels).sum())
+                total += labels.shape[0]
+        return correct / max(total, 1)
+
+    def fit(self, train_loader: DataLoader, test_loader: DataLoader | None = None) -> History:
+        for epoch in range(self.config.epochs):
+            losses, accs = [], []
+            for images, labels in train_loader:
+                loss, acc = self.train_step(images, labels)
+                losses.append(loss)
+                accs.append(acc)
+            if self.scheduler is not None:
+                self.scheduler.step()
+            stats = EpochStats(
+                epoch=epoch,
+                train_loss=float(np.mean(losses)),
+                train_acc=float(np.mean(accs)),
+                test_acc=self.evaluate(test_loader) if test_loader else None,
+            )
+            self.history.epochs.append(stats)
+            if self.config.verbose:
+                test = f" test_acc={stats.test_acc:.3f}" if stats.test_acc is not None else ""
+                print(
+                    f"epoch {epoch}: loss={stats.train_loss:.4f} "
+                    f"train_acc={stats.train_acc:.3f}{test}"
+                )
+        return self.history

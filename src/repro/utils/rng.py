@@ -1,0 +1,30 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library (weight init, synthetic data,
+shuffling) draws from a ``numpy.random.Generator`` so experiments are exactly
+reproducible from a single seed.
+"""
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+_GLOBAL_SEED = 0
+_GLOBAL_RNG = np.random.default_rng(_GLOBAL_SEED)
+
+
+def seed_all(seed: int) -> None:
+    """Seed every RNG the library uses (numpy global generator + stdlib)."""
+    global _GLOBAL_SEED, _GLOBAL_RNG
+    _GLOBAL_SEED = int(seed)
+    _GLOBAL_RNG = np.random.default_rng(_GLOBAL_SEED)
+    random.seed(_GLOBAL_SEED)
+    np.random.seed(_GLOBAL_SEED % (2**32))
+
+
+def get_rng(seed: int | None = None) -> np.random.Generator:
+    """Return the library RNG, or an independent stream when ``seed`` given."""
+    if seed is None:
+        return _GLOBAL_RNG
+    return np.random.default_rng(seed)

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for benchmark harnesses.
+
+Every benchmark prints the same rows/series the paper reports; these helpers
+keep that output aligned and copy-pasteable without pulling in a plotting
+dependency (the environment is offline and headless).
+"""
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Fixed-point formatting that keeps tiny values visible."""
+    if value != 0 and abs(value) < 10 ** (-digits):
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}f}"
+
+
+def human_count(n: float) -> str:
+    """Render a parameter/FLOP count the way the paper does (e.g. '14.73M')."""
+    if n >= 1e9:
+        return f"{n / 1e9:.2f}G"
+    if n >= 1e6:
+        return f"{n / 1e6:.2f}M"
+    if n >= 1e3:
+        return f"{n / 1e3:.2f}K"
+    return f"{n:.0f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

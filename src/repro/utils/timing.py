@@ -1,0 +1,79 @@
+"""Wall-clock measurement harness.
+
+The paper reports "the averaged running time of 100 measurements under the
+same setting" (Section V-A).  :func:`time_callable` mirrors that protocol:
+warmup iterations followed by ``repeats`` timed iterations, reporting mean,
+median and spread so benchmark noise is visible rather than hidden.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class MeasuredTime:
+    """Summary statistics (seconds) for a repeated timing run."""
+
+    samples: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def median(self) -> float:
+        s = sorted(self.samples)
+        n = len(s)
+        mid = n // 2
+        return s[mid] if n % 2 else 0.5 * (s[mid - 1] + s[mid])
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MeasuredTime(mean={self.mean * 1e3:.3f}ms, "
+            f"median={self.median * 1e3:.3f}ms, n={len(self.samples)})"
+        )
+
+
+class Timer:
+    """Context-manager stopwatch accumulating elapsed wall time."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+
+def time_callable(
+    fn: Callable[[], Any],
+    repeats: int = 10,
+    warmup: int = 2,
+) -> MeasuredTime:
+    """Time ``fn()`` following the paper's warmup-then-average protocol."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    result = MeasuredTime()
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        result.samples.append(time.perf_counter() - start)
+    return result

@@ -1,0 +1,33 @@
+"""Shared test utilities: float64 numerical gradient checking."""
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def numerical_grad(
+    f: Callable[[], float], x: np.ndarray, eps: float = 1e-4
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. ``x`` (in place)."""
+    grad = np.zeros(x.shape, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        old = x[idx]
+        x[idx] = old + eps
+        f_plus = f()
+        x[idx] = old - eps
+        f_minus = f()
+        x[idx] = old
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def assert_grad_close(
+    analytic: np.ndarray, numeric: np.ndarray, rtol: float = 1e-3, name: str = ""
+) -> None:
+    """Relative max-error comparison robust to large-magnitude gradients."""
+    denom = max(np.abs(numeric).max(), np.abs(analytic).max(), 1e-8)
+    err = np.abs(analytic - numeric).max() / denom
+    assert err < rtol, f"{name} gradient mismatch: rel err {err:.2e} >= {rtol:.0e}"

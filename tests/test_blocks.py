@@ -1,0 +1,125 @@
+"""DW+{PW,GPW,SCC} blocks and the drop-in model-conversion pass."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.blocks import (
+    DepthwiseSeparableBlock,
+    convert_model,
+    make_separable_block,
+    set_scc_impl,
+)
+from repro.core.scc import SlidingChannelConv2d
+from repro.tensor import Tensor
+from repro.utils import seed_all
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_all(51)
+
+
+@pytest.mark.parametrize("scheme", ["pw", "gpw", "scc"])
+def test_block_output_shape(scheme):
+    block = make_separable_block(8, 16, stride=2, scheme=scheme, cg=2, co=0.5)
+    out = block(Tensor(np.zeros((2, 8, 8, 8), dtype=np.float32)))
+    assert out.shape == (2, 16, 4, 4)
+
+
+def test_block_pointwise_stage_types():
+    assert isinstance(make_separable_block(8, 8, scheme="pw").pointwise, nn.PointwiseConv2d)
+    gpw = make_separable_block(8, 8, scheme="gpw", cg=4).pointwise
+    assert isinstance(gpw, nn.GroupPointwiseConv2d) and gpw.groups == 4
+    scc = make_separable_block(8, 8, scheme="scc", cg=4, co=0.5).pointwise
+    assert isinstance(scc, SlidingChannelConv2d)
+
+
+def test_block_rejects_unknown_scheme():
+    with pytest.raises(ValueError, match="unknown scheme"):
+        make_separable_block(8, 8, scheme="swish")
+
+
+def test_gpw_and_scc_blocks_have_equal_params():
+    # Paper Table IV: DW+GPW-cgX and DW+SCC-cgX-* have identical costs.
+    gpw = make_separable_block(16, 32, scheme="gpw", cg=4)
+    scc = make_separable_block(16, 32, scheme="scc", cg=4, co=0.5)
+    assert gpw.num_parameters() == scc.num_parameters()
+
+
+def test_final_act_false_makes_output_linear_head():
+    block = make_separable_block(8, 8, scheme="scc", final_act=False)
+    assert isinstance(block.act2, nn.Identity)
+
+
+def test_block_trains_gradients_flow():
+    block = make_separable_block(4, 8, scheme="scc", cg=2, co=0.5)
+    x = Tensor(np.random.default_rng(0).standard_normal((2, 4, 6, 6)).astype(np.float32))
+    out = block(x)
+    (out * out).sum().backward()
+    for name, p in block.named_parameters():
+        assert p.grad is not None, f"no grad for {name}"
+
+
+def _vgg_ish():
+    return nn.Sequential(
+        nn.Conv2d(3, 16, 3, padding=1),        # stem: kept (in_channels < 8)
+        nn.Conv2d(16, 32, 3, padding=1),       # converted
+        nn.MaxPool2d(2),
+        nn.Conv2d(32, 32, 3, padding=1),       # converted
+        nn.Conv2d(32, 8, 1),                   # 1x1: kept
+        nn.GlobalAvgPool2d(),
+        nn.Linear(8, 4),
+    )
+
+
+def test_convert_model_counts_and_rules():
+    model = _vgg_ish()
+    model, replaced = convert_model(model, scheme="scc", cg=2, co=0.5)
+    assert replaced == 2
+    assert isinstance(model[0], nn.Conv2d)               # stem untouched
+    assert isinstance(model[1], DepthwiseSeparableBlock)
+    assert isinstance(model[3], DepthwiseSeparableBlock)
+    assert isinstance(model[4], nn.Conv2d)               # 1x1 untouched
+    out = model(Tensor(np.zeros((1, 3, 8, 8), dtype=np.float32)))
+    assert out.shape == (1, 4)
+
+
+def test_convert_model_preserves_stride():
+    model = nn.Sequential(nn.Conv2d(16, 32, 3, stride=2, padding=1))
+    model, replaced = convert_model(model, scheme="scc")
+    assert replaced == 1
+    out = model(Tensor(np.zeros((1, 16, 8, 8), dtype=np.float32)))
+    assert out.shape == (1, 32, 4, 4)
+
+
+def test_convert_model_skips_indivisible_channels():
+    model = nn.Sequential(nn.Conv2d(12, 12, 3, padding=1))
+    model, replaced = convert_model(model, scheme="scc", cg=8)
+    assert replaced == 0  # 12 % 8 != 0
+
+
+def test_convert_model_reduces_params():
+    model = _vgg_ish()
+    before = model.num_parameters()
+    model, _ = convert_model(model, scheme="scc", cg=2, co=0.5)
+    assert model.num_parameters() < before
+
+
+def test_convert_model_rejects_unknown_scheme():
+    with pytest.raises(ValueError, match="unknown scheme"):
+        convert_model(_vgg_ish(), scheme="wavelet")
+
+
+def test_set_scc_impl_switches_all_layers():
+    model = _vgg_ish()
+    model, _ = convert_model(model, scheme="scc", cg=2, co=0.5)
+    n = set_scc_impl(model, "conv_stack")
+    assert n == 2
+    for _, m in model.named_modules():
+        if isinstance(m, SlidingChannelConv2d):
+            assert m.impl == "conv_stack"
+    # switching impl must not change the function computed
+    x = Tensor(np.random.default_rng(1).standard_normal((1, 3, 8, 8)).astype(np.float32))
+    out_cos = model(x).data.copy()
+    set_scc_impl(model, "dsxplore", backward_design="output_centric")
+    np.testing.assert_allclose(model(x).data, out_cos, atol=1e-5)

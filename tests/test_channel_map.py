@@ -1,0 +1,210 @@
+"""Algorithm 1 / channel-window algebra: paper examples + invariants.
+
+Property-based tests (hypothesis) cover the full (Cin, cg, co, Cout) space;
+the worked examples of paper Figures 2 and 5 are pinned exactly.
+"""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.channel_map import (
+    SCCConfig,
+    channel_windows,
+    compute_channel_cycle,
+    cyclic_distance,
+    reverse_window_map,
+    window_segments,
+)
+
+
+# -- paper worked examples --------------------------------------------------
+
+def test_fig5a_cycle():
+    # Cin=4, cg=2, co=50%: windows slide by 1, cyclic_dist = 4.
+    cycle = compute_channel_cycle(4, 2, 0.5, 100)
+    assert cycle == [(0, 2), (1, 3), (2, 0), (3, 1)]
+    assert cyclic_distance(4, 2, 0.5, 100) == 4
+
+
+def test_fig5b_cycle():
+    # Cin=6, cg=2, co=33%: cyclic_dist = 3 (paper Fig. 5b).
+    assert cyclic_distance(6, 2, 1 / 3, 100) == 3
+    cycle = compute_channel_cycle(6, 2, 1 / 3, 100)
+    assert len(cycle) == 3
+    assert cycle[0] == (0, 3)
+
+
+def test_fig2c_windows():
+    # SCC-cg2-co50% with 4 in / 4 out: filter windows from paper Fig. 2c:
+    # f0:{0,1} f1:{1,2} f2:{2,3} f3:{3,0} (channel circulation).
+    wins = channel_windows(4, 4, 2, 0.5)
+    np.testing.assert_array_equal(wins, [[0, 1], [1, 2], [2, 3], [3, 0]])
+
+
+def test_pw_corner_full_window():
+    # cg=1: every filter sees all channels (PW corner of Table I).
+    wins = channel_windows(8, 5, 1, 0.0)
+    assert wins.shape == (5, 8)
+    for row in wins:
+        assert sorted(row) == list(range(8))
+    assert cyclic_distance(8, 1, 0.0, 5) == 1
+
+
+def test_gpw_corner_no_overlap():
+    # co=0: disjoint group windows, exactly the GPW mapping (paper Fig. 2b).
+    wins = channel_windows(8, 8, 2, 0.0)
+    np.testing.assert_array_equal(wins[0], [0, 1, 2, 3])
+    np.testing.assert_array_equal(wins[1], [4, 5, 6, 7])
+    np.testing.assert_array_equal(wins[2], [0, 1, 2, 3])
+    assert cyclic_distance(8, 2, 0.0, 8) == 2
+
+
+# -- config validation --------------------------------------------------------
+
+def test_config_rejects_bad_cg():
+    with pytest.raises(ValueError, match="divide"):
+        SCCConfig(10, 4, 3, 0.5)
+    with pytest.raises(ValueError, match="cg"):
+        SCCConfig(8, 4, 0, 0.5)
+
+
+def test_config_rejects_bad_co():
+    with pytest.raises(ValueError, match="co"):
+        SCCConfig(8, 4, 2, 1.0)
+    with pytest.raises(ValueError, match="co"):
+        SCCConfig(8, 4, 2, -0.1)
+
+
+def test_config_rejects_nonpositive_channels():
+    with pytest.raises(ValueError, match="positive"):
+        SCCConfig(0, 4, 1, 0.0)
+
+
+def test_config_properties():
+    cfg = SCCConfig(64, 128, 4, 0.5)
+    assert cfg.group_width == 16
+    assert cfg.overlap_channels == 8
+    assert cfg.slide_stride == 8
+    assert cfg.label() == "SCC-cg4-co50%"
+
+
+def test_window_segments_contiguous():
+    segs = window_segments(2, 3, 8)
+    assert segs == [(slice(2, 5), slice(0, 3))]
+
+
+def test_window_segments_wrapped():
+    segs = window_segments(6, 4, 8)
+    assert segs == [(slice(6, 8), slice(0, 2)), (slice(0, 2), slice(2, 4))]
+
+
+def test_window_segments_reject_oversized():
+    with pytest.raises(ValueError, match="exceeds"):
+        window_segments(0, 9, 8)
+
+
+# -- property-based invariants -----------------------------------------------
+
+valid_configs = st.tuples(
+    st.sampled_from([4, 6, 8, 12, 16, 24, 32, 48, 64]),   # cin
+    st.integers(1, 64),                                    # cout
+    st.sampled_from([1, 2, 3, 4, 8]),                      # cg
+    st.sampled_from([0.0, 0.25, 1 / 3, 0.5, 0.66, 0.75]),  # co
+).filter(lambda t: t[0] % t[2] == 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(valid_configs)
+def test_windows_have_group_width(params):
+    cin, cout, cg, co = params
+    wins = channel_windows(cin, cout, cg, co)
+    assert wins.shape == (cout, cin // cg)
+    assert wins.min() >= 0 and wins.max() < cin
+    # Channels within one window are distinct.
+    for row in wins:
+        assert len(set(row.tolist())) == cin // cg
+
+
+@settings(max_examples=60, deadline=None)
+@given(valid_configs)
+def test_cycle_matches_closed_form(params):
+    cin, cout, cg, co = params
+    cycle = compute_channel_cycle(cin, cg, co, cout)
+    assert len(cycle) == cyclic_distance(cin, cg, co, cout)
+
+
+@settings(max_examples=60, deadline=None)
+@given(valid_configs)
+def test_windows_are_periodic_with_cyclic_dist(params):
+    cin, cout, cg, co = params
+    wins = channel_windows(cin, cout, cg, co)
+    cd = cyclic_distance(cin, cg, co, cout)
+    for oid in range(cout):
+        np.testing.assert_array_equal(wins[oid], wins[oid % cd])
+
+
+@settings(max_examples=60, deadline=None)
+@given(valid_configs)
+def test_windows_are_cyclic_ranges(params):
+    # Every window must be a contiguous arc on the channel circle.
+    cin, cout, cg, co = params
+    wins = channel_windows(cin, cout, cg, co)
+    gw = cin // cg
+    for row in wins:
+        start = row[0]
+        np.testing.assert_array_equal(row, (start + np.arange(gw)) % cin)
+
+
+@settings(max_examples=60, deadline=None)
+@given(valid_configs)
+def test_adjacent_window_overlap_matches_co(params):
+    cin, cout, cg, co = params
+    cfg = SCCConfig(cin, cout, cg, co)
+    wins = channel_windows(cin, cout, cg, co)
+    if cout < 2:
+        return
+    # Two arcs of length gw offset by d on the channel circle intersect on
+    # max(0, gw-d) channels ahead plus max(0, gw-(cin-d)) behind (wraparound).
+    gw = cfg.group_width
+    d = cfg.slide_stride % cin
+    expected_overlap = min(gw, max(0, gw - d) + max(0, gw - (cin - d)))
+    shared = len(set(wins[0].tolist()) & set(wins[1].tolist()))
+    assert shared == expected_overlap
+
+
+@settings(max_examples=60, deadline=None)
+@given(valid_configs)
+def test_full_coverage_when_enough_filters(params):
+    # Once Cout >= cyclic_dist * 1 and stride > 0, the sliding windows cover
+    # every input channel (channel circulation guarantees wraparound).
+    cin, cout, cg, co = params
+    cfg = SCCConfig(cin, cout, cg, co)
+    wins = channel_windows(cin, cout, cg, co)
+    if cfg.slide_stride == 0:
+        return
+    # Coverage needs the whole (uncapped) window period to fit into Cout,
+    # and stride small enough that consecutive windows leave no gap.
+    period = cin // np.gcd(cfg.slide_stride, cin)
+    if cout >= period and np.gcd(cfg.slide_stride, cin) <= cfg.group_width:
+        assert set(wins[:period].reshape(-1).tolist()) == set(range(cin))
+
+
+@settings(max_examples=40, deadline=None)
+@given(valid_configs)
+def test_reverse_map_is_exact_inverse(params):
+    cin, cout, cg, co = params
+    wins = channel_windows(cin, cout, cg, co)
+    rev = reverse_window_map(wins, cin)
+    total = sum(len(r) for r in rev)
+    assert total == wins.size
+    for c, readers in enumerate(rev):
+        for oid, col in readers:
+            assert wins[oid, col] == c
+
+
+def test_reverse_map_balanced_when_divisible():
+    wins = channel_windows(8, 16, 2, 0.5)
+    rev = reverse_window_map(wins, 8)
+    counts = {len(r) for r in rev}
+    assert counts == {16 * 4 // 8}

@@ -1,0 +1,53 @@
+"""Design-space enumeration and Pareto extraction."""
+import pytest
+
+from repro.core.design_space import DesignPoint, enumerate_configs, layer_costs, pareto_front
+
+
+def test_layer_costs_scale_with_cg():
+    f1, p1 = layer_costs(64, 128, 1)
+    f2, p2 = layer_costs(64, 128, 2)
+    f4, p4 = layer_costs(64, 128, 4)
+    assert f1 == 2 * f2 == 4 * f4
+    assert p1 == 2 * p2 == 4 * p4
+
+
+def test_layer_costs_independent_of_spatial_params():
+    _, p1 = layer_costs(64, 128, 2, spatial=1)
+    _, p2 = layer_costs(64, 128, 2, spatial=56)
+    assert p1 == p2
+
+
+def test_enumerate_skips_invalid():
+    points = enumerate_configs(12, 24, cgs=(1, 2, 3, 8), cos=(0.0, 0.5))
+    cgs = {p.cg for p in points}
+    assert 8 not in cgs      # 12 % 8 != 0
+    assert {1, 2, 3} <= cgs
+
+
+def test_enumerate_attaches_cyclic_dist():
+    points = enumerate_configs(8, 16, cgs=(2,), cos=(0.5,))
+    assert len(points) == 1
+    assert points[0].cyclic_dist == 4  # stride 2 on 8 channels
+
+
+def test_pareto_front_on_cost_only():
+    pts = enumerate_configs(64, 64, cgs=(1, 2, 4), cos=(0.0,))
+    front = pareto_front(pts)
+    # cheapest config dominates on both axes: only cg=4 survives
+    assert len(front) == 1 and front[0].cg == 4
+
+
+def test_pareto_front_with_accuracy_tradeoff():
+    a = DesignPoint(cg=1, co=0.0, flops=100, params=100, cyclic_dist=1, accuracy=0.95)
+    b = DesignPoint(cg=2, co=0.5, flops=50, params=50, cyclic_dist=4, accuracy=0.93)
+    c = DesignPoint(cg=2, co=0.0, flops=50, params=50, cyclic_dist=2, accuracy=0.90)
+    front = pareto_front([a, b, c])
+    assert a in front and b in front and c not in front
+
+
+def test_with_accuracy_returns_new_point():
+    p = DesignPoint(cg=2, co=0.5, flops=1, params=1, cyclic_dist=2)
+    q = p.with_accuracy(0.9)
+    assert q.accuracy == 0.9 and p.accuracy is None
+    assert q.label() == "SCC-cg2-co50%"

@@ -1,0 +1,89 @@
+"""Single-kernel cost model and device spec."""
+import pytest
+
+from repro.gpusim import DeviceSpec, KernelLaunch, kernel_time, simulate_kernels, tesla_v100
+
+
+@pytest.fixture
+def dev():
+    return tesla_v100()
+
+
+def test_v100_headline_numbers(dev):
+    assert dev.cuda_cores == 5120
+    assert dev.peak_flops == 15.7e12
+    assert dev.mem_capacity == 32 * 1024**3
+
+
+def test_occupancy_knee(dev):
+    full = dev.max_resident_threads
+    assert dev.occupancy(full) == 1.0
+    assert dev.occupancy(2 * full) == 1.0
+    assert abs(dev.occupancy(full // 4) - 0.25) < 1e-12
+    with pytest.raises(ValueError):
+        dev.occupancy(0)
+
+
+def test_compute_bound_kernel(dev):
+    k = KernelLaunch("gemm", threads=dev.max_resident_threads,
+                     flops=1e12, bytes_read=1e6, compute_efficiency=1.0)
+    t = kernel_time(k, dev)
+    assert t.compute > t.memory
+    assert abs(t.compute - 1e12 / dev.peak_flops) < 1e-9
+
+
+def test_memory_bound_kernel(dev):
+    k = KernelLaunch("copy", threads=dev.max_resident_threads,
+                     bytes_read=9e9, bytes_written=9e9)
+    t = kernel_time(k, dev)
+    assert t.memory == pytest.approx(18e9 / dev.mem_bandwidth)
+    assert t.total >= t.memory
+
+
+def test_bandwidth_efficiency_penalises_strided(dev):
+    a = KernelLaunch("contig", threads=1000, bytes_read=1e9)
+    b = KernelLaunch("strided", threads=1000, bytes_read=1e9, bandwidth_efficiency=0.5)
+    assert kernel_time(b, dev).memory == pytest.approx(2 * kernel_time(a, dev).memory)
+
+
+def test_occupancy_slows_small_launches(dev):
+    big = KernelLaunch("big", threads=dev.max_resident_threads, flops=1e11)
+    small = KernelLaunch("small", threads=dev.max_resident_threads // 8, flops=1e11)
+    assert kernel_time(small, dev).compute == pytest.approx(8 * kernel_time(big, dev).compute)
+
+
+def test_atomic_penalty_additive(dev):
+    base = KernelLaunch("noatomic", threads=1000, flops=1e9)
+    atom = KernelLaunch("atomic", threads=1000, flops=1e9,
+                        atomic_ops=1e9, atomic_conflict_fraction=0.9)
+    t_base, t_atom = kernel_time(base, dev), kernel_time(atom, dev)
+    assert t_atom.atomic == pytest.approx(0.9e9 / dev.atomic_conflict_rate)
+    assert t_atom.total > t_base.total
+
+
+def test_framework_op_overhead(dev):
+    raw = KernelLaunch("raw", threads=10)
+    framework = KernelLaunch("torch_op", threads=10, framework_op=True)
+    assert kernel_time(framework, dev).launch == pytest.approx(
+        kernel_time(raw, dev).launch + dev.framework_op_overhead
+    )
+
+
+def test_kernel_validation():
+    with pytest.raises(ValueError, match="threads"):
+        KernelLaunch("bad", threads=0)
+    with pytest.raises(ValueError, match="conflict"):
+        KernelLaunch("bad", threads=1, atomic_conflict_fraction=1.5)
+    with pytest.raises(ValueError, match="compute efficiency"):
+        KernelLaunch("bad", threads=1, compute_efficiency=0.0)
+    with pytest.raises(ValueError, match="bandwidth"):
+        KernelLaunch("bad", threads=1, bandwidth_efficiency=2.0)
+
+
+def test_simulation_aggregates(dev):
+    ks = [KernelLaunch(f"k{i}", threads=100, bytes_read=1e6) for i in range(5)]
+    res = simulate_kernels(ks, dev)
+    assert res.num_launches == 5
+    assert res.launch_time == pytest.approx(5 * dev.kernel_launch_overhead)
+    assert res.total_time == pytest.approx(sum(k.total for k in res.kernels))
+    assert set(res.breakdown()) == {f"k{i}" for i in range(5)}

@@ -1,0 +1,208 @@
+"""Workload extraction, strategy kernel counts, memory model, orderings."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.blocks import make_separable_block
+from repro.gpusim import (
+    MemoryModel,
+    OutOfMemoryError,
+    extract_layer_shapes,
+    model_step_kernels,
+    scc_layer_kernels,
+    tesla_v100,
+    training_step_time,
+    inference_time,
+)
+from repro.gpusim.timeline import backward_only_time
+from repro.gpusim.workloads import LayerShape, SCCGeometry, conv_layer_kernels
+from repro.models import build_model
+from repro.utils import seed_all
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_all(111)
+
+
+@pytest.fixture
+def dev():
+    return tesla_v100()
+
+
+def _scc_shape(cin=64, cout=128, cg=2, co=0.5, hw=8):
+    from repro.core.channel_map import cyclic_distance
+
+    return LayerShape(
+        name="scc", kind="scc", cin=cin, cout=cout,
+        hin=hw, win=hw, hout=hw, wout=hw,
+        scc=SCCGeometry(cg=cg, co=co, group_width=cin // cg,
+                        cyclic_dist=cyclic_distance(cin, cg, co, cout)),
+    )
+
+
+def test_extract_shapes_from_block():
+    block = make_separable_block(8, 16, scheme="scc", cg=2, co=0.5)
+    shapes = extract_layer_shapes(block, (8, 8, 8))
+    kinds = [s.kind for s in shapes]
+    assert "dw" in kinds and "scc" in kinds and "bn" in kinds and "elementwise" in kinds
+    scc = next(s for s in shapes if s.kind == "scc")
+    assert scc.scc.group_width == 4
+
+
+def test_extract_shapes_follows_residuals():
+    model = build_model("resnet18", width_mult=0.125)
+    shapes = extract_layer_shapes(model, (3, 16, 16))
+    # shortcut 1x1 convs appear as pw layers
+    assert any(s.kind == "pw" for s in shapes)
+    assert any(s.kind == "linear" for s in shapes)
+
+
+def test_channel_stack_kernel_count():
+    shape = _scc_shape(cout=32)
+    fwd = scc_layer_kernels(shape, 4, "channel_stack", include_backward=False)
+    # Cout slices + concat + groupconv
+    assert len(fwd) == 32 + 2
+    full = scc_layer_kernels(shape, 4, "channel_stack")
+    assert len(full) == 32 + 2 + 3
+
+
+def test_conv_stack_kernel_count_follows_cyclic_dist():
+    shape = _scc_shape(cin=64, cout=128, cg=2, co=0.5)
+    cd = shape.scc.cyclic_dist
+    fwd = scc_layer_kernels(shape, 4, "conv_stack", include_backward=False)
+    assert len(fwd) == 2 * cd
+    full = scc_layer_kernels(shape, 4, "conv_stack")
+    assert len(full) == 2 * cd + 3 * cd
+
+
+def test_dsxplore_single_fused_forward():
+    shape = _scc_shape()
+    fwd = scc_layer_kernels(shape, 4, "dsxplore", include_backward=False)
+    assert len(fwd) == 1
+    full = scc_layer_kernels(shape, 4, "dsxplore")
+    assert len(full) == 3
+
+
+def test_dsxplore_backward_designs_atomics():
+    shape = _scc_shape()
+    pull = scc_layer_kernels(shape, 4, "dsxplore", "input_centric")
+    push = scc_layer_kernels(shape, 4, "dsxplore", "output_centric")
+    assert sum(k.atomic_ops for k in pull) == 0
+    assert sum(k.atomic_ops for k in push) > 0
+
+
+def test_scc_kernels_validation():
+    with pytest.raises(ValueError, match="SCC layer"):
+        scc_layer_kernels(LayerShape(name="x", kind="conv"), 4, "dsxplore")
+    with pytest.raises(ValueError, match="unknown SCC strategy"):
+        scc_layer_kernels(_scc_shape(), 4, "magic")
+    with pytest.raises(ValueError, match="backward design"):
+        scc_layer_kernels(_scc_shape(), 4, "dsxplore", "diagonal")
+
+
+def test_conv_layer_kernels_unknown_kind():
+    with pytest.raises(ValueError, match="no kernel rule"):
+        conv_layer_kernels(LayerShape(name="x", kind="mystery"), 4)
+
+
+def test_strategy_time_ordering(dev):
+    """The paper's headline: DSXplore < Pytorch-Opt < Pytorch-Base."""
+    model = build_model("vgg16", scheme="scc", cg=2, co=0.5)
+    shapes = extract_layer_shapes(model, (3, 32, 32))
+    times = {
+        s: training_step_time(shapes, 128, dev, scc_strategy=s).total
+        for s in ("channel_stack", "conv_stack", "dsxplore")
+    }
+    assert times["dsxplore"] < times["conv_stack"] < times["channel_stack"]
+    # Magnitudes in the paper's ballpark: several-fold, not thousands.
+    assert 2 < times["channel_stack"] / times["dsxplore"] < 50
+
+
+def test_input_centric_backward_faster(dev):
+    model = build_model("mobilenet", scheme="scc", cg=2, co=0.5)
+    shapes = extract_layer_shapes(model, (3, 32, 32))
+    t_in = backward_only_time(shapes, 128, dev, "dsxplore", "input_centric")
+    t_out = backward_only_time(shapes, 128, dev, "dsxplore", "output_centric")
+    assert t_in < t_out
+    assert 1.05 < t_out / t_in < 5.0   # paper Fig. 9: ~1.55x
+
+
+def test_inference_cheaper_than_training(dev):
+    model = build_model("vgg16", scheme="scc", cg=2, co=0.5, width_mult=0.25)
+    shapes = extract_layer_shapes(model, (3, 32, 32))
+    fwd = inference_time(shapes, 64, dev).total
+    step = training_step_time(shapes, 64, dev).total
+    assert fwd < step / 2   # backward dominates (paper Section IV-B)
+
+
+def test_batch_size_knee(dev):
+    """Paper Fig. 13: time flat while the GPU is under-saturated."""
+    model = build_model("mobilenet", scheme="scc", cg=2, co=0.5)
+    shapes = extract_layer_shapes(model, (3, 32, 32))
+    t16 = training_step_time(shapes, 16, dev).total
+    t64 = training_step_time(shapes, 64, dev).total
+    t1024 = training_step_time(shapes, 1024, dev).total
+    # Per-sample time falls while the GPU is under-saturated...
+    assert t64 / 64 < 0.95 * (t16 / 16)
+    # ...and is nearly flat once saturated (close-to-linear total scaling).
+    assert (t1024 / 1024) / (t64 / 64) > 0.55
+
+
+def test_memory_cc_optimisation_saves(dev):
+    """Paper Fig. 10: CC cuts memory by 72-83%."""
+    model = build_model("vgg16", scheme="scc", cg=2, co=0.5)
+    shapes = extract_layer_shapes(model, (3, 32, 32))
+    mm = MemoryModel(dev)
+    with_cc = mm.report(shapes, 128, "conv_stack", cc_enabled=True).total
+    without = mm.report(shapes, 128, "conv_stack", cc_enabled=False).total
+    saving = 1 - with_cc / without
+    assert 0.5 < saving < 0.99
+
+
+def test_memory_dsxplore_no_temporaries(dev):
+    model = build_model("mobilenet", scheme="scc", cg=2, co=0.5)
+    shapes = extract_layer_shapes(model, (3, 32, 32))
+    mm = MemoryModel(dev)
+    assert mm.report(shapes, 64, "dsxplore").temporaries == 0
+    assert mm.report(shapes, 64, "channel_stack").temporaries > 0
+
+
+def test_imagenet_channel_stack_ooms(dev):
+    """Paper Section V-C: Pytorch-Base cannot run on ImageNet."""
+    model = build_model("resnet50", scheme="scc", cg=2, co=0.5,
+                        imagenet_stem=True, num_classes=1000)
+    shapes = extract_layer_shapes(model, (3, 224, 224))
+    mm = MemoryModel(dev)
+    base = mm.report(shapes, 64, "channel_stack", cc_enabled=False)
+    with pytest.raises(OutOfMemoryError):
+        mm.check(base, "Pytorch-Base on ImageNet")
+    dsx = mm.report(shapes, 64, "dsxplore")
+    mm.check(dsx)   # must not raise
+
+
+def test_model_step_includes_optimizer_update():
+    model = build_model("mobilenet", scheme="scc", cg=2, co=0.5, width_mult=0.25)
+    shapes = extract_layer_shapes(model, (3, 16, 16))
+    kernels = model_step_kernels(shapes, 8)
+    assert kernels[-1].name == "sgd.update"
+    fwd_only = model_step_kernels(shapes, 8, include_backward=False)
+    assert all(k.name != "sgd.update" for k in fwd_only)
+
+
+def test_strategy_ordering_is_device_robust():
+    """The paper's conclusions shouldn't hinge on V100 constants: the same
+    strategy ordering must hold on a different device spec (A100)."""
+    from repro.gpusim.device import nvidia_a100
+
+    a100 = nvidia_a100()
+    model = build_model("vgg16", scheme="scc", cg=2, co=0.5)
+    shapes = extract_layer_shapes(model, (3, 32, 32))
+    times = {
+        s: training_step_time(shapes, 128, a100, scc_strategy=s).total
+        for s in ("channel_stack", "conv_stack", "dsxplore")
+    }
+    assert times["dsxplore"] < times["conv_stack"] < times["channel_stack"]
+    t_in = backward_only_time(shapes, 128, a100, "dsxplore", "input_centric")
+    t_out = backward_only_time(shapes, 128, a100, "dsxplore", "output_centric")
+    assert t_in < t_out

@@ -1,0 +1,114 @@
+"""Cross-module integration: end-to-end training through the full stack."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.blocks import convert_model, make_separable_block, set_scc_impl
+from repro.data import DataLoader, make_dataset, train_test_split
+from repro.models import build_model
+from repro.tensor import Tensor
+from repro.train import Trainer, TrainConfig
+from repro.utils import seed_all
+
+
+def _small_scc_net(width=12, cg=2, co=0.5, impl="dsxplore"):
+    return nn.Sequential(
+        nn.Conv2d(3, width, 3, padding=1, bias=False),
+        nn.BatchNorm2d(width),
+        nn.ReLU(),
+        make_separable_block(width, 2 * width, stride=2, scheme="scc", cg=cg, co=co, impl=impl),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(2 * width, 4),
+    )
+
+
+def test_scc_network_trains_end_to_end():
+    seed_all(201)
+    ds = make_dataset(240, num_classes=4, image_size=8, noise=0.2, seed=20)
+    train, test = train_test_split(ds, 0.2, seed=20)
+    model = _small_scc_net()
+    trainer = Trainer(model, TrainConfig(epochs=4, lr=0.1, momentum=0.9))
+    hist = trainer.fit(DataLoader(train, batch_size=32, seed=21),
+                       DataLoader(test, batch_size=64, shuffle=False))
+    assert hist.losses[-1] < hist.losses[0]
+    assert hist.best_test_acc > 0.3
+
+
+@pytest.mark.parametrize("impl", ["channel_stack", "conv_stack"])
+def test_training_trajectory_identical_across_impls(impl):
+    """The three implementations are the same math: training curves match."""
+    ds = make_dataset(60, num_classes=3, image_size=8, seed=22)
+
+    def run(which):
+        seed_all(222)
+        model = _small_scc_net(impl=which)
+        trainer = Trainer(model, TrainConfig(epochs=2, lr=0.05, momentum=0.9))
+        loader = DataLoader(ds, batch_size=20, shuffle=True, seed=23)
+        return trainer.fit(loader).losses
+
+    ref = run("dsxplore")
+    other = run(impl)
+    np.testing.assert_allclose(other, ref, rtol=2e-3, atol=2e-4)
+
+
+def test_switching_impl_mid_training_is_seamless():
+    seed_all(203)
+    ds = make_dataset(40, num_classes=2, image_size=8, seed=24)
+    model = _small_scc_net()
+    trainer = Trainer(model, TrainConfig(epochs=1, lr=0.05))
+    loader = DataLoader(ds, batch_size=20, seed=25)
+    trainer.fit(loader)
+    set_scc_impl(model, "conv_stack")
+    # keeps training without error, from the same weights
+    hist = trainer.fit(loader)
+    assert np.isfinite(hist.losses[-1])
+
+
+def test_converted_vgg_trains():
+    # VGG's five pools need >= 32x32 inputs (8x8 would go spatially empty —
+    # covered by test_too_small_input_raises below).
+    seed_all(204)
+    ds = make_dataset(48, num_classes=4, image_size=32, noise=0.25, seed=26)
+    model = build_model("vgg16", width_mult=0.125, num_classes=4)
+    model, replaced = convert_model(model, scheme="scc", cg=2, co=0.5)
+    assert replaced == 12
+    trainer = Trainer(model, TrainConfig(epochs=1, lr=0.05, momentum=0.9))
+    hist = trainer.fit(DataLoader(ds, batch_size=24, seed=27))
+    assert np.isfinite(hist.losses[-1])
+
+
+def test_too_small_input_raises_instead_of_nan():
+    seed_all(207)
+    model = build_model("vgg16", width_mult=0.125, num_classes=4)
+    with pytest.raises(ValueError, match="empty output|too small"):
+        model(Tensor(np.zeros((1, 3, 8, 8), dtype=np.float32)))
+
+
+def test_eval_deterministic_after_training():
+    seed_all(205)
+    ds = make_dataset(60, num_classes=3, image_size=8, seed=28)
+    model = _small_scc_net()
+    trainer = Trainer(model, TrainConfig(epochs=1, lr=0.05))
+    trainer.fit(DataLoader(ds, batch_size=30, seed=29))
+    model.eval()
+    x = Tensor(ds.images[:8])
+    from repro.tensor import no_grad
+
+    with no_grad():
+        a = model(x).data.copy()
+        b = model(x).data.copy()
+    np.testing.assert_array_equal(a, b)
+
+
+def test_state_dict_roundtrip_preserves_predictions():
+    seed_all(206)
+    model = _small_scc_net()
+    seed_all(999)
+    clone = _small_scc_net()
+    clone.load_state_dict(model.state_dict())
+    x = Tensor(np.random.default_rng(0).standard_normal((4, 3, 8, 8)).astype(np.float32))
+    from repro.tensor import no_grad
+
+    model.eval(), clone.eval()
+    with no_grad():
+        np.testing.assert_allclose(model(x).data, clone(x).data, atol=1e-6)

@@ -1,0 +1,136 @@
+"""Model zoo: construction, shapes, known parameter counts, factorization."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.scc import SlidingChannelConv2d
+from repro.models import build_model, available_models
+from repro.models.vgg import scale_width
+from repro.tensor import Tensor, no_grad
+from repro.utils import seed_all
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_all(61)
+
+
+def _forward(model, size=16):
+    model.eval()
+    with no_grad():
+        return model(Tensor(np.zeros((2, 3, size, size), dtype=np.float32)))
+
+
+def test_available_models():
+    assert set(available_models()) == {"vgg16", "vgg19", "mobilenet", "resnet18", "resnet50"}
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ValueError, match="unknown model"):
+        build_model("alexnet")
+
+
+@pytest.mark.parametrize("name", ["vgg16", "mobilenet", "resnet18"])
+def test_origin_forward_shapes(name):
+    model = build_model(name, width_mult=0.25, num_classes=7)
+    out = _forward(model, 32)
+    assert out.shape == (2, 7)
+
+
+@pytest.mark.parametrize("name", ["vgg16", "mobilenet", "resnet18"])
+def test_scc_forward_shapes(name):
+    model = build_model(name, scheme="scc", cg=2, co=0.5, width_mult=0.25, num_classes=7)
+    out = _forward(model, 32)
+    assert out.shape == (2, 7)
+    n_scc = sum(isinstance(m, SlidingChannelConv2d) for _, m in model.named_modules())
+    assert n_scc > 0
+
+
+# Known full-size parameter counts (CIFAR geometry), cross-checked against
+# the paper's Table II "Param." column where the paper is self-consistent.
+KNOWN_PARAMS = {
+    "vgg16": 14_724_042,
+    "vgg19": 20_035_018,
+    "resnet18": 11_173_962,
+    "resnet50": 23_520_842,
+    "mobilenet": 3_217_226,
+}
+
+
+@pytest.mark.parametrize("name", sorted(KNOWN_PARAMS))
+def test_full_size_parameter_counts(name):
+    model = build_model(name)
+    assert model.num_parameters() == KNOWN_PARAMS[name]
+
+
+def test_paper_param_matches_table2():
+    # Table II reports 14.73M / 20.04M / 11.17M / 23.52M for these models.
+    for name, paper_m in [("vgg16", 14.73), ("vgg19", 20.04), ("resnet18", 11.17), ("resnet50", 23.52)]:
+        ours = build_model(name).num_parameters() / 1e6
+        assert abs(ours - paper_m) < 0.01, f"{name}: {ours:.2f}M vs paper {paper_m}M"
+
+
+def test_scc_conversion_shrinks_models():
+    for name in ["vgg16", "mobilenet", "resnet18"]:
+        origin = build_model(name, width_mult=0.25)
+        factorized = build_model(name, scheme="scc", cg=2, co=0.5, width_mult=0.25)
+        assert factorized.num_parameters() < origin.num_parameters(), name
+
+
+def test_gpw_and_scc_models_same_size():
+    for name in ["mobilenet", "vgg16"]:
+        gpw = build_model(name, scheme="gpw", cg=4, width_mult=0.25)
+        scc = build_model(name, scheme="scc", cg=4, co=0.5, width_mult=0.25)
+        assert gpw.num_parameters() == scc.num_parameters(), name
+
+
+def test_resnet_bottleneck_keeps_pointwise_convs():
+    model = build_model("resnet50", scheme="scc", width_mult=0.125)
+    kinds = [type(m).__name__ for _, m in model.named_modules()]
+    # 1x1 reduce/expand convs survive factorization (paper Section V-C).
+    assert "Conv2d" in kinds and "SlidingChannelConv2d" in kinds
+
+
+def test_vgg_stem_is_standard_conv():
+    model = build_model("vgg16", scheme="scc", width_mult=0.125)
+    first_conv = model.features[0]
+    assert isinstance(first_conv, nn.Conv2d) and first_conv.in_channels == 3
+
+
+def test_imagenet_stem_downsamples():
+    cifar = build_model("resnet18", width_mult=0.125)
+    imagenet = build_model("resnet18", width_mult=0.125, imagenet_stem=True)
+    with no_grad():
+        x = Tensor(np.zeros((1, 3, 64, 64), dtype=np.float32))
+        c = cifar.eval().stem(x)
+        i = imagenet.eval().stem(x)
+    assert c.shape[2] == 64 and i.shape[2] == 16
+
+
+def test_mobilenet_scheme_variants_block_types():
+    pw = build_model("mobilenet", width_mult=0.25)
+    assert isinstance(pw.blocks[0].pointwise, nn.PointwiseConv2d)
+    scc = build_model("mobilenet", scheme="scc", cg=2, co=0.5, width_mult=0.25)
+    assert isinstance(scc.blocks[0].pointwise, SlidingChannelConv2d)
+
+
+def test_scale_width():
+    assert scale_width(64, 1.0) == 64
+    assert scale_width(64, 0.5) == 32
+    assert scale_width(64, 0.01) == 8   # floor keeps cg<=8 valid
+    assert scale_width(100, 0.5) == 48  # rounds to multiple of 8
+
+
+def test_width_mult_monotone():
+    small = build_model("vgg16", width_mult=0.125).num_parameters()
+    big = build_model("vgg16", width_mult=0.25).num_parameters()
+    assert small < big
+
+
+def test_models_train_mode_gradients():
+    model = build_model("resnet18", scheme="scc", cg=2, co=0.5, width_mult=0.125)
+    x = Tensor(np.random.default_rng(0).standard_normal((2, 3, 16, 16)).astype(np.float32))
+    out = model(x)
+    (out * out).sum().backward()
+    missing = [n for n, p in model.named_parameters() if p.grad is None]
+    assert not missing, f"layers with no gradient: {missing[:5]}"

@@ -1,0 +1,60 @@
+"""Depth-truncation options (num_blocks / stage_blocks) for reduced models."""
+import numpy as np
+import pytest
+
+from repro.models import build_mobilenet, build_resnet
+from repro.models.mobilenet import MOBILENET_PLAN
+from repro.tensor import Tensor, no_grad
+from repro.utils import seed_all
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_all(131)
+
+
+def test_mobilenet_num_blocks_truncates():
+    full = build_mobilenet(width_mult=0.25)
+    mini = build_mobilenet(width_mult=0.25, num_blocks=4)
+    assert len(mini.blocks) == 4
+    assert len(full.blocks) == len(MOBILENET_PLAN)
+    assert mini.num_parameters() < full.num_parameters()
+
+
+def test_mobilenet_mini_forward_shape():
+    mini = build_mobilenet(width_mult=0.5, num_blocks=4, num_classes=7, in_channels=8)
+    with no_grad():
+        out = mini.eval()(Tensor(np.zeros((2, 8, 12, 12), dtype=np.float32)))
+    assert out.shape == (2, 7)
+
+
+def test_resnet_stage_blocks_truncates():
+    full = build_resnet("resnet18", width_mult=0.25)
+    mini = build_resnet("resnet18", width_mult=0.25, stage_blocks=[1, 1])
+    assert len(mini.stages) == 2
+    assert mini.num_parameters() < full.num_parameters()
+
+
+def test_resnet_mini_forward_and_gradients():
+    mini = build_resnet("resnet50", scheme="scc", cg=2, co=0.5, width_mult=0.25,
+                        stage_blocks=[1, 1], num_classes=5, in_channels=8)
+    x = Tensor(np.random.default_rng(0).standard_normal((2, 8, 12, 12)).astype(np.float32))
+    out = mini(x)
+    assert out.shape == (2, 5)
+    (out * out).sum().backward()
+    assert all(p.grad is not None for p in mini.parameters())
+
+
+def test_resnet_stage_blocks_validation():
+    with pytest.raises(ValueError, match="stage_blocks"):
+        build_resnet("resnet18", stage_blocks=[1, 1, 1, 1, 1])
+    with pytest.raises(ValueError, match="stage_blocks"):
+        build_resnet("resnet18", stage_blocks=[0, 1])
+
+
+def test_truncated_models_keep_scheme():
+    from repro.core.scc import SlidingChannelConv2d
+
+    mini = build_mobilenet(scheme="scc", cg=2, co=0.5, width_mult=0.5, num_blocks=3)
+    n_scc = sum(isinstance(m, SlidingChannelConv2d) for _, m in mini.named_modules())
+    assert n_scc == 3

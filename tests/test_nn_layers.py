@@ -1,0 +1,174 @@
+"""Layer-level behaviour: Linear, BatchNorm running stats, activations,
+pooling, dropout, initializers, conv module variants."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn import init
+from repro.tensor import Tensor
+from repro.utils import seed_all
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_all(31)
+
+
+def test_linear_matches_manual():
+    layer = nn.Linear(4, 3)
+    x = np.random.default_rng(0).standard_normal((5, 4)).astype(np.float32)
+    out = layer(Tensor(x))
+    expected = x @ layer.weight.data.T + layer.bias.data
+    np.testing.assert_allclose(out.data, expected, rtol=1e-5)
+
+
+def test_linear_no_bias():
+    layer = nn.Linear(4, 3, bias=False)
+    assert layer.bias is None
+    assert layer.num_parameters() == 12
+
+
+def test_conv2d_module_bias_broadcast():
+    layer = nn.Conv2d(2, 3, 3, padding=1)
+    x = Tensor(np.zeros((1, 2, 4, 4), dtype=np.float32))
+    out = layer(x)
+    assert out.shape == (1, 3, 4, 4)
+    np.testing.assert_allclose(
+        out.data, np.broadcast_to(layer.bias.data.reshape(1, 3, 1, 1), out.shape), rtol=1e-6
+    )
+
+
+def test_conv_module_validates_groups():
+    with pytest.raises(ValueError, match="groups"):
+        nn.Conv2d(4, 6, 3, groups=3)
+
+
+def test_depthwise_is_grouped_per_channel():
+    dw = nn.DepthwiseConv2d(6)
+    assert dw.groups == 6 and dw.in_channels == dw.out_channels == 6
+    assert dw.weight.shape == (6, 1, 3, 3)
+
+
+def test_pointwise_shapes():
+    pw = nn.PointwiseConv2d(8, 16)
+    assert pw.kernel_size == 1
+    assert pw.weight.shape == (16, 8, 1, 1)
+    gpw = nn.GroupPointwiseConv2d(8, 16, groups=4)
+    assert gpw.weight.shape == (16, 2, 1, 1)
+
+
+def test_batchnorm_running_stats_update_and_eval():
+    bn = nn.BatchNorm2d(3, momentum=0.5)
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((16, 3, 4, 4)).astype(np.float32) * 2 + 5
+    bn(Tensor(x))
+    # running stats moved toward batch stats
+    assert np.all(bn.running_mean > 1.0)
+    bn.eval()
+    out = bn(Tensor(x))
+    expected = (x - bn.running_mean.reshape(1, -1, 1, 1)) / np.sqrt(
+        bn.running_var.reshape(1, -1, 1, 1) + bn.eps
+    )
+    np.testing.assert_allclose(out.data, expected, rtol=1e-4, atol=1e-4)
+
+
+def test_batchnorm_channel_mismatch():
+    bn = nn.BatchNorm2d(3)
+    with pytest.raises(ValueError, match="channels"):
+        bn(Tensor(np.zeros((1, 4, 2, 2), dtype=np.float32)))
+
+
+def test_relu6_clamps():
+    act = nn.ReLU6()
+    x = Tensor(np.array([[-1.0, 0.5, 7.0]], dtype=np.float32))
+    np.testing.assert_allclose(act(x).data, [[0.0, 0.5, 6.0]])
+
+
+def test_relu6_gradient_zero_outside_band():
+    act = nn.ReLU6()
+    x = Tensor(np.array([-1.0, 3.0, 7.0], dtype=np.float32), requires_grad=True)
+    act(x).sum().backward()
+    np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+def test_maxpool_module_shape():
+    pool = nn.MaxPool2d(3, stride=2, padding=1)
+    out = pool(Tensor(np.zeros((1, 2, 7, 7), dtype=np.float32)))
+    assert out.shape == (1, 2, 4, 4)
+
+
+def test_global_avg_pool():
+    x = np.random.default_rng(2).standard_normal((2, 3, 4, 4)).astype(np.float32)
+    out = nn.GlobalAvgPool2d()(Tensor(x))
+    np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)), rtol=1e-5)
+
+
+def test_flatten():
+    out = nn.Flatten()(Tensor(np.zeros((2, 3, 4, 4), dtype=np.float32)))
+    assert out.shape == (2, 48)
+
+
+def test_dropout_train_vs_eval():
+    drop = nn.Dropout(0.5)
+    x = Tensor(np.ones((1000,), dtype=np.float32))
+    out = drop(x)
+    # inverted dropout preserves expectation
+    assert 0.7 < float(out.data.mean()) < 1.3
+    assert set(np.unique(out.data)).issubset({0.0, 2.0})
+    drop.eval()
+    np.testing.assert_array_equal(drop(x).data, x.data)
+
+
+def test_dropout_validates_p():
+    with pytest.raises(ValueError):
+        nn.Dropout(1.0)
+    with pytest.raises(ValueError):
+        nn.Dropout(-0.1)
+
+
+def test_identity():
+    x = Tensor(np.ones(3))
+    assert nn.Identity()(x) is x
+
+
+def test_kaiming_normal_scale():
+    w = init.kaiming_normal((256, 128, 3, 3), rng=np.random.default_rng(0))
+    expected_std = np.sqrt(2.0 / (128 * 9))
+    assert abs(w.std() - expected_std) / expected_std < 0.05
+
+
+def test_xavier_normal_scale():
+    w = init.xavier_normal((200, 300), rng=np.random.default_rng(0))
+    expected_std = np.sqrt(2.0 / 500)
+    assert abs(w.std() - expected_std) / expected_std < 0.1
+
+
+def test_fan_in_out_rejects_vectors():
+    with pytest.raises(ValueError):
+        init.kaiming_normal((5,))
+
+
+def test_log_softmax_stable_and_normalised():
+    x = Tensor(np.array([[1000.0, 1000.0], [0.0, -1000.0]], dtype=np.float32))
+    out = F.log_softmax(x)
+    assert np.all(np.isfinite(out.data))
+    np.testing.assert_allclose(np.exp(out.data).sum(axis=1), [1.0, 1.0], rtol=1e-5)
+
+
+def test_softmax_sums_to_one():
+    x = Tensor(np.random.default_rng(3).standard_normal((4, 7)).astype(np.float32))
+    np.testing.assert_allclose(F.softmax(x).data.sum(axis=1), np.ones(4), rtol=1e-5)
+
+
+def test_one_hot_and_validation():
+    out = F.one_hot(np.array([0, 2]), 3)
+    np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+    with pytest.raises(ValueError, match="out of range"):
+        F.one_hot(np.array([3]), 3)
+
+
+def test_accuracy():
+    logits = np.array([[2.0, 1.0], [0.0, 1.0]])
+    assert F.accuracy(logits, np.array([0, 1])) == 1.0
+    assert F.accuracy(logits, np.array([1, 1])) == 0.5

@@ -1,0 +1,120 @@
+"""Module container mechanics: traversal, state dicts, hooks, modes."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+from repro.utils import seed_all
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_all(21)
+
+
+def small_model():
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, bias=False),
+        nn.BatchNorm2d(8),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(8, 4),
+    )
+
+
+def test_named_parameters_paths():
+    m = small_model()
+    names = dict(m.named_parameters())
+    assert "0.weight" in names
+    assert "1.weight" in names and "1.bias" in names
+    assert "4.weight" in names and "4.bias" in names
+    assert len(names) == 5
+
+
+def test_num_parameters():
+    m = small_model()
+    expected = 8 * 3 * 9 + 8 + 8 + 8 * 4 + 4
+    assert m.num_parameters() == expected
+
+
+def test_named_modules_includes_nested():
+    m = nn.Sequential(nn.Sequential(nn.ReLU()), nn.Identity())
+    names = [n for n, _ in m.named_modules()]
+    assert "" in names and "0" in names and "0.0" in names and "1" in names
+
+
+def test_train_eval_propagates():
+    m = small_model()
+    m.eval()
+    assert all(not mod.training for _, mod in m.named_modules())
+    m.train()
+    assert all(mod.training for _, mod in m.named_modules())
+
+
+def test_zero_grad_clears_all():
+    m = small_model()
+    out = m(Tensor(np.random.default_rng(0).standard_normal((2, 3, 8, 8)).astype(np.float32)))
+    out.sum().backward()
+    assert any(p.grad is not None for p in m.parameters())
+    m.zero_grad()
+    assert all(p.grad is None for p in m.parameters())
+
+
+def test_state_dict_roundtrip():
+    m1 = small_model()
+    m2 = small_model()
+    state = m1.state_dict()
+    assert "1.running_mean" in state  # buffers included
+    m2.load_state_dict(state)
+    for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+        assert n1 == n2
+        np.testing.assert_array_equal(p1.data, p2.data)
+
+
+def test_load_state_dict_rejects_bad_shape():
+    m = small_model()
+    state = m.state_dict()
+    state["4.bias"] = np.zeros(5, dtype=np.float32)
+    with pytest.raises(ValueError, match="shape mismatch"):
+        m.load_state_dict(state)
+
+
+def test_load_state_dict_rejects_unknown_key():
+    m = small_model()
+    with pytest.raises(KeyError, match="unexpected"):
+        m.load_state_dict({"nope": np.zeros(1)})
+
+
+def test_forward_hooks_fire_and_remove():
+    m = small_model()
+    calls = []
+    handle = m[0].register_forward_hook(lambda mod, args, out: calls.append(out.shape))
+    x = Tensor(np.zeros((1, 3, 8, 8), dtype=np.float32))
+    m(x)
+    assert calls == [(1, 8, 8, 8)]
+    handle.remove()
+    m(x)
+    assert len(calls) == 1
+
+
+def test_sequential_indexing_and_len():
+    m = small_model()
+    assert len(m) == 5
+    assert isinstance(m[0], nn.Conv2d)
+    assert isinstance(m[4], nn.Linear)
+    assert len(list(iter(m))) == 5
+
+
+def test_module_list():
+    ml = nn.ModuleList([nn.ReLU(), nn.Identity()])
+    ml.append(nn.Flatten())
+    assert len(ml) == 3
+    assert isinstance(ml[2], nn.Flatten)
+    assert isinstance(ml[-1], nn.Flatten)
+    # children registered for traversal
+    assert len(list(ml.children())) == 3
+
+
+def test_repr_contains_children():
+    text = repr(small_model())
+    assert "Conv2d" in text and "Linear" in text

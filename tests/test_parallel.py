@@ -1,0 +1,82 @@
+"""Simulated data-parallel training must equal single-device training."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import make_dataset
+from repro.tensor import Tensor
+from repro.train import DataParallelTrainer, Trainer, TrainConfig, cross_entropy
+from repro.train.optim import SGD
+from repro.utils import seed_all
+
+
+def _model():
+    seed_all(101)
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, bias=False),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(8, 4),
+    )
+    # (no BatchNorm: per-shard batch statistics legitimately differ from
+    # full-batch statistics, exactly like unsynchronised BN on real GPUs)
+
+
+@pytest.mark.parametrize("num_devices", [1, 2, 4])
+def test_gradients_match_full_batch(num_devices):
+    ds = make_dataset(32, num_classes=4, image_size=8, seed=11)
+    images, labels = ds.images, ds.labels
+
+    # Reference: single full-batch gradient.
+    ref = _model()
+    logits = ref(Tensor(images))
+    cross_entropy(logits, labels).backward()
+    ref_grads = {n: p.grad.copy() for n, p in ref.named_parameters()}
+
+    # Data-parallel path on an identically-initialised model.
+    par_model = _model()
+    for (_, a), (_, b) in zip(ref.named_parameters(), par_model.named_parameters()):
+        np.testing.assert_array_equal(a.data, b.data)
+    dp = DataParallelTrainer(par_model, num_devices=num_devices, lr=0.1, momentum=0.0)
+    dp.train_step(images, labels)
+
+    # After one step the parameters must match the reference SGD step.
+    for (name, p_ref), (_, p_par) in zip(ref.named_parameters(), par_model.named_parameters()):
+        expected = p_ref.data - 0.1 * ref_grads[name]
+        np.testing.assert_allclose(p_par.data, expected, rtol=1e-4, atol=1e-5,
+                                   err_msg=f"parameter {name}")
+
+
+def test_uneven_shards_still_exact():
+    ds = make_dataset(10, num_classes=2, image_size=8, seed=12)
+    model = _model()
+    dp = DataParallelTrainer(model, num_devices=3, lr=0.1)  # 10 = 4+3+3
+    loss, acc = dp.train_step(ds.images, ds.labels)
+    assert np.isfinite(loss) and 0.0 <= acc <= 1.0
+
+
+def test_batch_smaller_than_devices_rejected():
+    ds = make_dataset(2, num_classes=2, image_size=8, seed=13)
+    model = _model()
+    dp = DataParallelTrainer(model, num_devices=4)
+    with pytest.raises(ValueError, match="sharded"):
+        dp.train_step(ds.images, ds.labels)
+
+
+def test_num_devices_validation():
+    with pytest.raises(ValueError):
+        DataParallelTrainer(_model(), num_devices=0)
+
+
+def test_gradient_bytes():
+    model = _model()
+    dp = DataParallelTrainer(model, num_devices=2)
+    assert dp.gradient_bytes() == sum(p.data.nbytes for p in model.parameters())
+
+
+def test_parallel_loss_decreases_over_steps():
+    ds = make_dataset(64, num_classes=2, image_size=8, noise=0.2, seed=14)
+    model = _model()
+    dp = DataParallelTrainer(model, num_devices=2, lr=0.2, momentum=0.9)
+    losses = [dp.train_step(ds.images, ds.labels)[0] for _ in range(8)]
+    assert losses[-1] < losses[0]

@@ -1,0 +1,108 @@
+"""SCC magnitude pruning (paper Section II-C future-work combination)."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.blocks import make_separable_block
+from repro.core.pruning import SCCPruner
+from repro.core.scc import SlidingChannelConv2d
+from repro.data import DataLoader, make_dataset
+from repro.tensor import Tensor
+from repro.train import Trainer, TrainConfig
+from repro.utils import seed_all
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_all(151)
+
+
+def _model():
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, bias=False),
+        nn.BatchNorm2d(8),
+        nn.ReLU(),
+        make_separable_block(8, 16, scheme="scc", cg=2, co=0.5),
+        make_separable_block(16, 32, scheme="scc", cg=2, co=0.5),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(32, 4),
+    )
+
+
+def test_prune_hits_requested_global_sparsity():
+    model = _model()
+    pruner = SCCPruner(model, sparsity=0.5)
+    report = pruner.prune()
+    assert report.layers_pruned == 2
+    assert abs(report.sparsity - 0.5) < 0.05
+    assert pruner.effective_parameters() == report.weights_total - report.weights_zeroed
+
+
+def test_prune_zero_sparsity_is_noop():
+    model = _model()
+    before = [
+        m.weight.data.copy()
+        for _, m in model.named_modules()
+        if isinstance(m, SlidingChannelConv2d)
+    ]
+    report = SCCPruner(model, sparsity=0.0).prune()
+    assert report.weights_zeroed == 0
+    after = [
+        m.weight.data
+        for _, m in model.named_modules()
+        if isinstance(m, SlidingChannelConv2d)
+    ]
+    for b, a in zip(before, after):
+        np.testing.assert_array_equal(b, a)
+
+
+def test_prune_keeps_largest_magnitudes():
+    model = _model()
+    layers = [m for _, m in model.named_modules() if isinstance(m, SlidingChannelConv2d)]
+    biggest = max(float(np.abs(l.weight.data).max()) for l in layers)
+    SCCPruner(model, sparsity=0.9).prune()
+    still_biggest = max(float(np.abs(l.weight.data).max()) for l in layers)
+    assert still_biggest == pytest.approx(biggest)
+
+
+def test_reapply_restores_zeros_after_update():
+    model = _model()
+    pruner = SCCPruner(model, sparsity=0.6)
+    pruner.prune()
+    layer = next(m for _, m in model.named_modules() if isinstance(m, SlidingChannelConv2d))
+    mask = pruner.masks[id(layer)]
+    layer.weight.data = layer.weight.data + 1.0   # simulate an optimizer step
+    pruner.reapply()
+    assert np.all(layer.weight.data[mask == 0] == 0)
+
+
+def test_reapply_before_prune_raises():
+    with pytest.raises(RuntimeError, match="before prune"):
+        SCCPruner(_model(), sparsity=0.5).reapply()
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="sparsity"):
+        SCCPruner(_model(), sparsity=1.0)
+    with pytest.raises(ValueError, match="no SCC layers"):
+        SCCPruner(nn.Sequential(nn.Linear(4, 2)), sparsity=0.5)
+
+
+def test_masked_training_keeps_sparsity_and_learns():
+    ds = make_dataset(120, num_classes=4, image_size=8, noise=0.2, seed=15)
+    model = _model()
+    pruner = SCCPruner(model, sparsity=0.5)
+    pruner.prune()
+    trainer = Trainer(model, TrainConfig(epochs=2, lr=0.1, momentum=0.9))
+    loader = DataLoader(ds, batch_size=24, seed=16)
+    losses = []
+    for _ in range(trainer.config.epochs):
+        for images, labels in loader:
+            loss, _ = trainer.train_step(images, labels)
+            pruner.reapply()
+            losses.append(loss)
+    assert losses[-1] < losses[0]
+    layers = [m for _, m in model.named_modules() if isinstance(m, SlidingChannelConv2d)]
+    total = sum(l.weight.size for l in layers)
+    zeros = sum(int((l.weight.data == 0).sum()) for l in layers)
+    assert abs(zeros / total - 0.5) < 0.05   # sparsity survived training

@@ -1,0 +1,87 @@
+"""Shift convolution (paper Section II-B extension kernel)."""
+import numpy as np
+import pytest
+
+from repro.core.shift import ShiftConv2d, ShiftFunction, ShiftSCCBlock, shift_offsets
+from repro.tensor import Tensor
+from repro.utils import seed_all
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_all(141)
+
+
+def test_offsets_cover_neighbourhood_round_robin():
+    offs = shift_offsets(18, kernel_size=3)
+    assert offs.shape == (18, 2)
+    # 9 displacement vectors, each used exactly twice for 18 channels.
+    unique, counts = np.unique(offs, axis=0, return_counts=True)
+    assert len(unique) == 9
+    assert all(counts == 2)
+    assert offs.min() == -1 and offs.max() == 1
+
+
+def test_offsets_validation():
+    with pytest.raises(ValueError, match="odd"):
+        shift_offsets(4, kernel_size=2)
+
+
+def test_shift_moves_content():
+    x = np.zeros((1, 9, 5, 5), dtype=np.float32)
+    x[0, :, 2, 2] = 1.0
+    fn = ShiftFunction()
+    out = fn.forward(x, offsets=shift_offsets(9))
+    for c in range(9):
+        dy, dx = shift_offsets(9)[c]
+        assert out[0, c, 2 + dy, 2 + dx] == 1.0
+        assert out[0, c].sum() == 1.0
+
+
+def test_shift_zero_fills_borders():
+    x = np.ones((1, 9, 3, 3), dtype=np.float32)
+    out = ShiftFunction().forward(x, offsets=shift_offsets(9))
+    # Channel with offset (1, 1) loses a row and a column.
+    offs = shift_offsets(9)
+    c = int(np.where((offs == [1, 1]).all(axis=1))[0][0])
+    assert out[0, c].sum() == 4.0
+
+
+def test_shift_backward_is_inverse_shift():
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((2, 9, 6, 6)).astype(np.float32), requires_grad=True)
+    layer = ShiftConv2d(9)
+    out = layer(x)
+    g = rng.standard_normal(out.shape).astype(np.float32)
+    out.backward(g)
+    # <shift(x), g> == <x, shift^T(g)>: check the adjoint identity.
+    lhs = float((out.data * g).sum())
+    rhs = float((x.data * x.grad).sum())
+    assert abs(lhs - rhs) < 1e-3
+
+
+def test_shift_zero_params_zero_flops():
+    layer = ShiftConv2d(16)
+    assert layer.num_parameters() == 0
+
+
+def test_shift_channel_mismatch():
+    layer = ShiftConv2d(4)
+    with pytest.raises(ValueError, match="channels"):
+        layer(Tensor(np.zeros((1, 5, 3, 3), dtype=np.float32)))
+
+
+def test_shift_scc_block_trains():
+    block = ShiftSCCBlock(8, 16, cg=2, co=0.5)
+    x = Tensor(np.random.default_rng(1).standard_normal((2, 8, 6, 6)).astype(np.float32))
+    out = block(x)
+    assert out.shape == (2, 16, 6, 6)
+    (out * out).sum().backward()
+    assert all(p.grad is not None for p in block.parameters())
+    # Spatial stage contributes zero parameters.
+    assert block.shift.num_parameters() == 0
+
+
+def test_shift_function_validates_offsets():
+    with pytest.raises(ValueError, match="offsets"):
+        ShiftFunction().forward(np.zeros((1, 3, 4, 4)), offsets=np.zeros((2, 2), dtype=np.int64))

@@ -1,0 +1,155 @@
+"""Graph-mechanics tests: accumulation, reuse, no_grad, error paths."""
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled, randn
+from repro.utils import seed_all
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_all(7)
+
+
+def test_grad_accumulates_across_backward_calls():
+    x = Tensor([1.0, 2.0], requires_grad=True)
+    (x * 2).sum().backward()
+    (x * 3).sum().backward()
+    np.testing.assert_allclose(x.grad, [5.0, 5.0])
+
+
+def test_zero_grad_resets():
+    x = Tensor([1.0], requires_grad=True)
+    (x * 2).sum().backward()
+    x.zero_grad()
+    assert x.grad is None
+
+
+def test_diamond_graph_accumulates_once_per_path():
+    # y = x*x + x*x uses x through two paths; d/dx = 4x.
+    x = Tensor([3.0], requires_grad=True)
+    a = x * x
+    (a + a).sum().backward()
+    np.testing.assert_allclose(x.grad, [12.0])
+
+
+def test_shared_subexpression():
+    x = Tensor([2.0], requires_grad=True)
+    y = x.exp()
+    z = y * y  # d/dx e^{2x} = 2 e^{2x}
+    z.sum().backward()
+    np.testing.assert_allclose(x.grad, [2 * np.exp(4.0)], rtol=1e-5)
+
+
+def test_backward_on_non_scalar_requires_grad_arg():
+    x = Tensor([1.0, 2.0], requires_grad=True)
+    with pytest.raises(RuntimeError, match="scalar"):
+        (x * 2).backward()
+
+
+def test_backward_with_explicit_gradient():
+    x = Tensor([1.0, 2.0], requires_grad=True)
+    (x * 3).backward(np.array([1.0, 10.0], dtype=np.float32))
+    np.testing.assert_allclose(x.grad, [3.0, 30.0])
+
+
+def test_backward_on_leaf_without_grad_raises():
+    x = Tensor([1.0])
+    with pytest.raises(RuntimeError, match="does not require grad"):
+        x.backward()
+
+
+def test_backward_on_leaf_with_grad_accumulates_seed():
+    x = Tensor([1.0, 1.0], requires_grad=True)
+    x.backward(np.array([2.0, 3.0], dtype=np.float32))
+    np.testing.assert_allclose(x.grad, [2.0, 3.0])
+
+
+def test_no_grad_blocks_graph():
+    x = Tensor([1.0], requires_grad=True)
+    with no_grad():
+        y = x * 2
+    assert not y.requires_grad
+    assert y._ctx is None
+
+
+def test_no_grad_restores_state_after_exception():
+    assert is_grad_enabled()
+    with pytest.raises(ValueError):
+        with no_grad():
+            assert not is_grad_enabled()
+            raise ValueError("boom")
+    assert is_grad_enabled()
+
+
+def test_detach_cuts_graph():
+    x = Tensor([2.0], requires_grad=True)
+    y = (x * 3).detach()
+    assert not y.requires_grad
+    z = y * 5
+    assert not z.requires_grad
+
+
+def test_grad_not_tracked_through_detach():
+    x = Tensor([2.0], requires_grad=True)
+    y = x * 3
+    z = y.detach() * x  # only the direct x path contributes
+    z.sum().backward()
+    np.testing.assert_allclose(x.grad, [6.0])
+
+
+def test_requires_grad_propagation():
+    a = Tensor([1.0], requires_grad=True)
+    b = Tensor([1.0])
+    assert (a + b).requires_grad
+    assert not (b + b).requires_grad
+
+
+def test_long_chain_gradient():
+    x = Tensor([0.5], requires_grad=True)
+    y = x
+    for _ in range(50):
+        y = y * 1.1
+    y.sum().backward()
+    np.testing.assert_allclose(x.grad, [1.1**50], rtol=1e-4)
+
+
+def test_mixed_dtype_inputs_coerce_to_float32():
+    x = Tensor(np.array([1, 2, 3], dtype=np.int64))
+    assert x.dtype == np.float32
+    y = Tensor(np.array([1.0], dtype=np.float64))
+    assert y.dtype == np.float32
+
+
+def test_grad_shape_mismatch_detected():
+    from repro.tensor.function import Function
+
+    class BadOp(Function):
+        def forward(self, a):
+            return a * 2
+
+        def backward(self, grad):
+            return (grad[:1],)  # wrong shape
+
+    x = Tensor([1.0, 2.0], requires_grad=True)
+    out = BadOp.apply(x)
+    with pytest.raises(RuntimeError, match="shape"):
+        out.sum().backward()
+
+
+def test_topological_order_with_deep_fanout():
+    # Build a graph where naive recursion order would double-count.
+    x = Tensor(np.ones(4), requires_grad=True)
+    layers = [x]
+    for _ in range(5):
+        layers.append(layers[-1] + layers[-1])
+    layers[-1].sum().backward()
+    np.testing.assert_allclose(x.grad, 32 * np.ones(4))
+
+
+def test_randn_deterministic_under_seed():
+    seed_all(99)
+    a = randn(3, 3).data.copy()
+    seed_all(99)
+    b = randn(3, 3).data.copy()
+    np.testing.assert_array_equal(a, b)

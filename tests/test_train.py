@@ -1,0 +1,180 @@
+"""Optimizer, schedulers, loss, trainer convergence."""
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import DataLoader, make_dataset, train_test_split
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+from repro.train import SGD, CosineLR, StepLR, Trainer, TrainConfig, cross_entropy
+from repro.train.trainer import clip_gradients
+from repro.utils import seed_all
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_all(91)
+
+
+def test_sgd_plain_step():
+    p = Parameter(np.array([1.0, 2.0], dtype=np.float32))
+    p.grad = np.array([0.5, -0.5], dtype=np.float32)
+    SGD([p], lr=0.1).step()
+    np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+
+def test_sgd_momentum_accumulates():
+    p = Parameter(np.array([0.0], dtype=np.float32))
+    opt = SGD([p], lr=1.0, momentum=0.9)
+    p.grad = np.array([1.0], dtype=np.float32)
+    opt.step()   # v=1, p=-1
+    np.testing.assert_allclose(p.data, [-1.0])
+    p.grad = np.array([1.0], dtype=np.float32)
+    opt.step()   # v=1.9, p=-2.9
+    np.testing.assert_allclose(p.data, [-2.9])
+
+
+def test_sgd_weight_decay():
+    p = Parameter(np.array([2.0], dtype=np.float32))
+    opt = SGD([p], lr=0.1, weight_decay=0.5)
+    p.grad = np.zeros(1, dtype=np.float32)
+    opt.step()
+    np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+
+def test_sgd_nesterov():
+    p = Parameter(np.array([0.0], dtype=np.float32))
+    opt = SGD([p], lr=1.0, momentum=0.5, nesterov=True)
+    p.grad = np.array([1.0], dtype=np.float32)
+    opt.step()   # v=1, update g + mu*v = 1.5
+    np.testing.assert_allclose(p.data, [-1.5])
+
+
+def test_sgd_skips_gradless_params():
+    p = Parameter(np.array([1.0], dtype=np.float32))
+    SGD([p], lr=0.1).step()   # no grad -> no change, no crash
+    np.testing.assert_allclose(p.data, [1.0])
+
+
+def test_sgd_validation():
+    p = Parameter(np.zeros(1))
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+    with pytest.raises(ValueError):
+        SGD([p], lr=0.0)
+    with pytest.raises(ValueError):
+        SGD([p], lr=0.1, nesterov=True)
+
+
+def test_step_lr_schedule():
+    p = Parameter(np.zeros(1))
+    opt = SGD([p], lr=1.0)
+    sched = StepLR(opt, step_size=2, gamma=0.1)
+    lrs = []
+    for _ in range(4):
+        sched.step()
+        lrs.append(opt.lr)
+    np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+
+def test_cosine_lr_endpoints():
+    p = Parameter(np.zeros(1))
+    opt = SGD([p], lr=1.0)
+    sched = CosineLR(opt, total_epochs=10, min_lr=0.1)
+    for _ in range(10):
+        sched.step()
+    assert abs(opt.lr - 0.1) < 1e-9
+    with pytest.raises(ValueError):
+        CosineLR(opt, total_epochs=0)
+
+
+def test_cross_entropy_matches_manual():
+    logits = Tensor(np.array([[2.0, 0.0], [0.0, 1.0]], dtype=np.float32), requires_grad=True)
+    labels = np.array([0, 1])
+    loss = cross_entropy(logits, labels)
+    manual = -np.log([np.exp(2) / (np.exp(2) + 1), np.exp(1) / (np.exp(1) + 1)]).mean()
+    assert abs(float(loss.data) - manual) < 1e-6
+    loss.backward()
+    probs = np.exp(logits.data) / np.exp(logits.data).sum(axis=1, keepdims=True)
+    expected_grad = probs.copy()
+    expected_grad[0, 0] -= 1
+    expected_grad[1, 1] -= 1
+    np.testing.assert_allclose(logits.grad, expected_grad / 2, rtol=1e-5)
+
+
+def test_cross_entropy_label_smoothing():
+    logits = Tensor(np.array([[10.0, 0.0]], dtype=np.float32))
+    hard = float(cross_entropy(logits, np.array([0])).data)
+    soft = float(cross_entropy(logits, np.array([0]), label_smoothing=0.2).data)
+    assert soft > hard   # smoothing penalises over-confidence
+
+
+def test_cross_entropy_validation():
+    with pytest.raises(ValueError, match="logits"):
+        cross_entropy(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]))
+    with pytest.raises(ValueError, match="label_smoothing"):
+        cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1]), label_smoothing=1.0)
+
+
+def test_clip_gradients():
+    model = nn.Linear(4, 2)
+    model.weight.grad = np.full((2, 4), 10.0, dtype=np.float32)
+    model.bias.grad = np.zeros(2, dtype=np.float32)
+    norm = clip_gradients(model, max_norm=1.0)
+    assert norm > 1.0
+    total = np.sqrt((model.weight.grad**2).sum() + (model.bias.grad**2).sum())
+    assert abs(total - 1.0) < 1e-5
+
+
+def _toy_model(classes=4):
+    return nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1, bias=False),
+        nn.BatchNorm2d(8),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(8, classes),
+    )
+
+
+def test_trainer_reduces_loss():
+    ds = make_dataset(400, num_classes=4, image_size=8, noise=0.15, seed=5)
+    train, test = train_test_split(ds, 0.2, seed=5)
+    model = _toy_model()
+    trainer = Trainer(model, TrainConfig(epochs=6, lr=0.1, momentum=0.9))
+    hist = trainer.fit(DataLoader(train, batch_size=32, seed=6),
+                       DataLoader(test, batch_size=64, shuffle=False))
+    assert hist.losses[-1] < hist.losses[0]
+    assert hist.final_test_acc is not None
+    assert hist.best_test_acc > 1.0 / 4 + 0.08   # clearly above chance
+    assert hist.best_test_acc >= hist.final_test_acc - 1e-9
+
+
+def test_trainer_scheduler_integration():
+    ds = make_dataset(40, num_classes=2, image_size=8, seed=6)
+    model = _toy_model(2)
+    trainer = Trainer(
+        model,
+        TrainConfig(epochs=2, lr=1.0, momentum=0.0),
+        scheduler_factory=lambda opt: StepLR(opt, step_size=1, gamma=0.5),
+    )
+    trainer.fit(DataLoader(ds, batch_size=20, seed=1))
+    assert abs(trainer.optimizer.lr - 0.25) < 1e-9
+
+
+def test_trainer_grad_clip_runs():
+    ds = make_dataset(20, num_classes=2, image_size=8, seed=7)
+    model = _toy_model(2)
+    trainer = Trainer(model, TrainConfig(epochs=1, lr=0.1, grad_clip=0.5))
+    hist = trainer.fit(DataLoader(ds, batch_size=10, seed=1))
+    assert len(hist.epochs) == 1
+
+
+def test_evaluate_is_deterministic_and_eval_mode():
+    ds = make_dataset(30, num_classes=3, image_size=8, seed=8)
+    model = _toy_model(3)
+    trainer = Trainer(model)
+    loader = DataLoader(ds, batch_size=16, shuffle=False)
+    a = trainer.evaluate(loader)
+    b = trainer.evaluate(loader)
+    assert a == b
+    assert not model.training  # evaluate leaves eval mode set
