@@ -1,6 +1,7 @@
 """Shared helpers for the benchmark harness (report IO, model prep)."""
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -12,13 +13,23 @@ def full_mode() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
 
-def emit(report_name: str, text: str) -> str:
-    """Print a report and persist it under benchmarks/results/."""
+def emit(report_name: str, text: str, data=None) -> str:
+    """Print a report and persist it under benchmarks/results/.
+
+    Every report is written twice: human-readable ``<name>.txt`` and
+    machine-readable ``<name>.json`` so the perf trajectory can be tracked
+    across PRs.  ``data`` is an optional JSON-serialisable payload (e.g. the
+    table rows); non-serialisable values degrade to their ``str()``.
+    """
     banner = f"\n{'=' * 72}\n{report_name}\n{'=' * 72}\n"
     out = banner + text + "\n"
     print(out)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{report_name}.txt").write_text(out)
+    payload = {"name": report_name, "data": data, "text": text}
+    (RESULTS_DIR / f"{report_name}.json").write_text(
+        json.dumps(payload, indent=2, default=str) + "\n"
+    )
     return out
 
 

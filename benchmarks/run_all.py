@@ -29,6 +29,7 @@ from bench_fig12_overlap_sweep import report_fig12
 from bench_fig13_batch_size import report_fig13
 from bench_fig14_multigpu import report_fig14
 from bench_ablation_cyclic_index import report_ablation_cyclic
+from bench_ablation_plan_cache import report_ablation_plan_cache
 from bench_ablation_vectorization import report_ablation_vectorization
 from bench_ablation_shift_scc import report_ablation_shift
 
@@ -47,6 +48,7 @@ REPORTS = [
     ("Figure 13", report_fig13),
     ("Figure 14", report_fig14),
     ("Ablation: cyclic index", report_ablation_cyclic),
+    ("Ablation: plan cache", report_ablation_plan_cache),
     ("Ablation: vectorization", report_ablation_vectorization),
     ("Ablation: shift+scc", report_ablation_shift),
 ]

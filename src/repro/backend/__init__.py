@@ -1,0 +1,106 @@
+"""Unified kernel backend: op registry + execution-plan cache.
+
+This package is the single execution layer behind ``repro.tensor.conv_ops``,
+``repro.core.scc_kernels``, ``repro.nn`` layers and the ``repro.gpusim``
+cross-checks.  It separates **what** is computed from **how**:
+
+Kernel registry (``repro.backend.registry``)
+    Named ops — ``conv2d``, ``conv2d_backward``, ``scc_forward``,
+    ``scc_backward``, ``maxpool2d``, ``avgpool2d`` (each with a
+    ``*_backward`` pair) — dispatched to pluggable backends:
+
+    ============  =======================================================
+    reference     naive loop kernels; ground truth for every fast path
+    numpy         einsum / ``as_strided`` fast paths fed by cached plans
+    default       auto-selects the preferred available backend (numpy)
+    ============  =======================================================
+
+    Layers thread a ``backend=`` argument down to the dispatch
+    (``nn.Conv2d(..., backend="reference")``,
+    ``SlidingChannelConv2d(..., backend=...)``,
+    ``build_model(..., backend=...)``), so any subtree of a model can be
+    pinned to a specific implementation.  Adding a backend is one module of
+    :func:`~repro.backend.registry.register_kernel` decorators — call sites
+    never change.
+
+Execution-plan cache (``repro.backend.workload`` / ``repro.backend.plan``)
+    A :class:`~repro.backend.workload.Workload` descriptor (op, operand
+    shapes, dtype, static hyper-parameters such as stride/padding/groups or
+    cg/co) keys a process-wide LRU of precomputed plans:
+
+    - SCC window matrices, channel cycles and zero-copy segment tables
+      (paper Algorithms 1+2) — built once per configuration, shared by all
+      strategy instances and layers;
+    - ``np.einsum_path`` contraction plans — the per-call path search of
+      ``optimize=True`` is paid once per shape-class;
+    - convolution patch-view geometry and scratch workspaces (the dense
+      ``W_full`` matrix of the input-centric SCC backward).
+
+    Repeated-shape execution (every training step after the first) runs
+    entirely on cache hits; ``benchmarks/bench_ablation_plan_cache.py``
+    quantifies the win.  Use :func:`plan_cache_stats` to observe hit rates
+    and :func:`clear_plan_cache` to model cold execution.
+
+Typical use::
+
+    from repro.backend import get_kernel, conv2d_plan
+
+    plan = conv2d_plan(x.shape, w.shape, stride=1, padding=1, groups=1,
+                       dtype=x.dtype)
+    out, ctx = get_kernel("conv2d")(plan, x, w)            # default backend
+    ref, _ = get_kernel("conv2d", "reference")(plan, x, w) # ground truth
+"""
+from repro.backend.registry import (
+    REGISTRY,
+    KernelRegistry,
+    available_backends,
+    get_kernel,
+    register_kernel,
+)
+from repro.backend.stats import KernelStats, scc_conflict_fraction
+from repro.backend.workload import (
+    PLAN_CACHE,
+    PlanCache,
+    Workload,
+    clear_plan_cache,
+    plan_cache_stats,
+)
+from repro.backend.plan import (
+    Conv2dPlan,
+    Pool2dPlan,
+    SCCPlan,
+    contraction_path,
+    conv2d_plan,
+    conv_out_size,
+    planned_einsum,
+    pool2d_plan,
+    scc_plan,
+)
+
+# Importing the backend modules registers their kernels.
+from repro.backend import numpy_backend as _numpy_backend  # noqa: F401
+from repro.backend import reference as _reference          # noqa: F401
+
+__all__ = [
+    "REGISTRY",
+    "KernelRegistry",
+    "available_backends",
+    "get_kernel",
+    "register_kernel",
+    "KernelStats",
+    "scc_conflict_fraction",
+    "PLAN_CACHE",
+    "PlanCache",
+    "Workload",
+    "clear_plan_cache",
+    "plan_cache_stats",
+    "Conv2dPlan",
+    "Pool2dPlan",
+    "SCCPlan",
+    "contraction_path",
+    "conv2d_plan",
+    "conv_out_size",
+    "planned_einsum",
+    "pool2d_plan",
+    "scc_plan",
+]

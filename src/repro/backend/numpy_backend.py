@@ -1,0 +1,369 @@
+"""The ``numpy`` backend: vectorised einsum / ``as_strided`` fast paths.
+
+These are the "cuDNN primitives" of the reproduction.  Implementation idiom
+(per the session HPC guides): input patch matrices are zero-copy strided
+*views*, reductions are einsum calls over those views (no im2col buffer),
+the data-grad scatter runs as ``KH*KW`` strided accumulations, and every
+contraction fetches its ``np.einsum_path`` plan from the execution-plan
+cache instead of re-searching per call.
+
+SCC kernels implement all three of the paper's execution strategies behind
+one registered op pair (``scc_forward`` / ``scc_backward``) parameterised by
+``strategy``; see :mod:`repro.core.scc_kernels` for the paper mapping.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.plan import Conv2dPlan, Pool2dPlan, SCCPlan, planned_einsum
+from repro.backend.registry import register_kernel
+from repro.backend.stats import KernelStats, scc_conflict_fraction
+
+
+def _patch_view(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Zero-copy (N, C, Ho, Wo, KH, KW) sliding-window view of padded input."""
+    n, c, h, w = x.shape
+    ho = (h - kh) // stride + 1
+    wo = (w - kw) // stride + 1
+    if ho <= 0 or wo <= 0:
+        raise ValueError(
+            f"window of {kh}x{kw} (stride {stride}) produces empty output on "
+            f"{h}x{w} input — input too small for this layer stack"
+        )
+    sn, sc, sh, sw = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, ho, wo, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+
+
+def _pad2d(x: np.ndarray, padding: int, **kwargs) -> np.ndarray:
+    if padding == 0:
+        return x
+    return np.pad(
+        x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), **kwargs
+    )
+
+
+# ---------------------------------------------------------------------------
+# conv2d
+# ---------------------------------------------------------------------------
+
+@register_kernel("conv2d", "numpy")
+def conv2d(plan: Conv2dPlan, x: np.ndarray, weight: np.ndarray):
+    kh, kw = plan.kernel
+    xp = _pad2d(x, plan.padding)
+    patches = _patch_view(xp, kh, kw, plan.stride)
+    groups = plan.groups
+    if groups == 1:
+        out = np.einsum("nchwij,ocij->nohw", patches, weight, optimize=plan.fwd_path)
+    else:
+        n, cout = plan.out_shape[0], plan.out_shape[1]
+        out = np.empty(plan.out_shape, dtype=x.dtype)
+        og = cout // groups
+        cg = plan.x_shape[1] // groups
+        for g in range(groups):
+            out[:, g * og : (g + 1) * og] = np.einsum(
+                "nchwij,ocij->nohw",
+                patches[:, g * cg : (g + 1) * cg],
+                weight[g * og : (g + 1) * og],
+                optimize=plan.fwd_path,
+            )
+    return out, {"xp": xp, "w": weight}
+
+
+@register_kernel("conv2d_backward", "numpy")
+def conv2d_backward(
+    plan: Conv2dPlan,
+    ctx: dict,
+    grad: np.ndarray,
+    need_input_grad: bool = True,
+    need_weight_grad: bool = True,
+):
+    xp, weight = ctx["xp"], ctx["w"]
+    stride, padding, groups = plan.stride, plan.padding, plan.groups
+    cout, _, kh, kw = weight.shape
+    ho, wo = grad.shape[2], grad.shape[3]
+
+    patches = _patch_view(xp, kh, kw, stride)
+    cg = xp.shape[1] // groups
+    og = cout // groups
+
+    grad_w = np.zeros_like(weight) if need_weight_grad else None
+    grad_xp = np.zeros_like(xp) if need_input_grad else None
+
+    for g in range(groups):
+        gsl = slice(g * og, (g + 1) * og)
+        csl = slice(g * cg, (g + 1) * cg)
+        gout = grad[:, gsl]
+        if need_weight_grad:
+            grad_w[gsl] = np.einsum(
+                "nohw,nchwij->ocij", gout, patches[:, csl], optimize=plan.gradw_path
+            )
+        if need_input_grad:
+            # Scatter the data gradient as KH*KW strided accumulations.
+            wg = weight[gsl]
+            for i in range(kh):
+                for j in range(kw):
+                    contrib = np.einsum(
+                        "nohw,oc->nchw", gout, wg[:, :, i, j], optimize=plan.gradx_path
+                    )
+                    grad_xp[
+                        :, csl,
+                        i : i + ho * stride : stride,
+                        j : j + wo * stride : stride,
+                    ] += contrib
+
+    grad_x = None
+    if need_input_grad:
+        if padding:
+            grad_x = np.ascontiguousarray(
+                grad_xp[:, :, padding:-padding, padding:-padding]
+            )
+        else:
+            grad_x = grad_xp
+    return grad_x, grad_w
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+
+@register_kernel("maxpool2d", "numpy")
+def maxpool2d(plan: Pool2dPlan, x: np.ndarray):
+    k = plan.kernel
+    xp = _pad2d(x, plan.padding, constant_values=-np.inf)
+    patches = _patch_view(xp, k, k, plan.stride)
+    n, c, ho, wo = patches.shape[:4]
+    flat = patches.reshape(n, c, ho, wo, k * k)
+    argmax = flat.argmax(axis=-1)
+    return flat.max(axis=-1), {"argmax": argmax}
+
+
+@register_kernel("maxpool2d_backward", "numpy")
+def maxpool2d_backward(plan: Pool2dPlan, ctx: dict, grad: np.ndarray):
+    k, stride, padding = plan.kernel, plan.stride, plan.padding
+    argmax = ctx["argmax"]
+    gxp = np.zeros(plan.padded_shape, dtype=grad.dtype)
+    ki = argmax // k
+    kj = argmax % k
+    ni, ci, yi, xi = np.indices(grad.shape, sparse=False)
+    rows = yi * stride + ki
+    cols = xi * stride + kj
+    np.add.at(gxp, (ni, ci, rows, cols), grad)
+    if padding:
+        gxp = np.ascontiguousarray(gxp[:, :, padding:-padding, padding:-padding])
+    return gxp
+
+
+@register_kernel("avgpool2d", "numpy")
+def avgpool2d(plan: Pool2dPlan, x: np.ndarray):
+    n, c, h, w = x.shape
+    k = plan.kernel
+    out = x.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+    return out, {}
+
+
+@register_kernel("avgpool2d_backward", "numpy")
+def avgpool2d_backward(plan: Pool2dPlan, ctx: dict, grad: np.ndarray):
+    k = plan.kernel
+    g = np.repeat(np.repeat(grad, k, axis=2), k, axis=3) * (1.0 / (k * k))
+    return g.astype(grad.dtype)
+
+
+# ---------------------------------------------------------------------------
+# SCC: the three execution strategies (paper Section IV)
+# ---------------------------------------------------------------------------
+
+def _count_push_scatter(plan: SCCPlan, stats: KernelStats, total_updates: int) -> None:
+    cfg = plan.config
+    stats.scatter_adds += total_updates
+    fraction = scc_conflict_fraction(
+        cfg.in_channels, cfg.out_channels, cfg.group_width
+    )
+    stats.conflicting_scatter_adds += int(total_updates * fraction)
+
+
+def _channel_stack_forward(plan, x, w, stats):
+    # Steps 1-3 of Pytorch-Base: one fancy-index gather == slice+concat of
+    # every window into the (N, Cout, gw, H, W) stacked tensor.
+    stacked = x[:, plan.windows]
+    stats.bytes_materialized += stacked.nbytes
+    stats.gemm_calls += 1
+    # Step 4: grouped convolution with groups == Cout.
+    out = planned_einsum("noghw,og->nohw", stacked, w)
+    return out, {"x": x, "w": w, "stacked": stacked}
+
+
+def _channel_stack_backward(plan, saved, grad_out, need_x, need_w, stats):
+    w, stacked = saved["w"], saved["stacked"]
+    grad_x = grad_w = None
+    if need_w:
+        grad_w = planned_einsum("nohw,noghw->og", grad_out, stacked)
+        stats.gemm_calls += 1
+    if need_x:
+        # Reverse of the concat/extract: scatter the stacked gradient back,
+        # with conflicts wherever windows overlap.
+        grad_stacked = planned_einsum("nohw,og->noghw", grad_out, w)
+        stats.bytes_materialized += grad_stacked.nbytes
+        stats.gemm_calls += 1
+        grad_x = np.zeros_like(saved["x"])
+        idx_n = np.arange(grad_out.shape[0])[:, None, None]
+        np.add.at(grad_x, (idx_n, plan.windows[None, :, :]), grad_stacked)
+        _count_push_scatter(plan, stats, grad_stacked.size)
+    return grad_x, grad_w
+
+
+def _conv_stack_forward(plan, x, w, stats):
+    cfg = plan.config
+    cd = plan.cyclic_dist
+    n, _, h, wdt = x.shape
+    out = np.empty((n, cfg.out_channels, h, wdt), dtype=x.dtype)
+    gathered = []
+    for p, idx in enumerate(plan.cycle_index):
+        win = x[:, idx]                               # (N, gw, H, W) copy
+        stats.bytes_materialized += win.nbytes
+        gathered.append(win)
+        out[:, p::cd] = planned_einsum("nghw,og->nohw", win, w[p::cd])
+        stats.gemm_calls += 1
+    return out, {"x": x, "w": w, "gathered": gathered}
+
+
+def _conv_stack_backward(plan, saved, grad_out, need_x, need_w, stats):
+    cd = plan.cyclic_dist
+    w, gathered = saved["w"], saved["gathered"]
+    grad_x = np.zeros_like(saved["x"]) if need_x else None
+    grad_w = np.empty_like(w) if need_w else None
+    for p, idx in enumerate(plan.cycle_index):
+        g = grad_out[:, p::cd]
+        if need_w:
+            grad_w[p::cd] = planned_einsum("nohw,nghw->og", g, gathered[p])
+            stats.gemm_calls += 1
+        if need_x:
+            contrib = planned_einsum("nohw,og->nghw", g, w[p::cd])
+            stats.bytes_materialized += contrib.nbytes
+            stats.gemm_calls += 1
+            # Within one cycle position the window channels are distinct, so
+            # a fancy-index += is conflict-free; conflicts across cycle
+            # positions are resolved by this serial per-p loop
+            # (framework-level serialisation, the paper's point about
+            # composed-operator implementations).
+            grad_x[:, idx] += contrib
+            stats.scatter_adds += contrib.size
+    return grad_x, grad_w
+
+
+def _dsxplore_forward(plan, x, w, stats):
+    cfg = plan.config
+    cd = plan.cyclic_dist
+    n, _, h, wdt = x.shape
+    out = np.zeros((n, cfg.out_channels, h, wdt), dtype=x.dtype)
+    for p, segments in enumerate(plan.segments):
+        wp = w[p::cd]
+        for chan_slice, col_slice in segments:
+            # x[:, chan_slice] is a view — zero bytes materialised.
+            out[:, p::cd] += planned_einsum(
+                "nchw,oc->nohw", x[:, chan_slice], wp[:, col_slice]
+            )
+            stats.gemm_calls += 1
+    return out, {"x": x, "w": w}
+
+
+def _dsxplore_backward(plan, saved, grad_out, need_x, need_w, stats, backward_design):
+    if backward_design not in ("input_centric", "output_centric"):
+        raise ValueError(
+            f"backward_design must be 'input_centric' or 'output_centric', "
+            f"got {backward_design!r}"
+        )
+    x, w = saved["x"], saved["w"]
+    cd = plan.cyclic_dist
+    grad_w = None
+    if need_w:
+        grad_w = np.empty_like(w)
+        for p, segments in enumerate(plan.segments):
+            g = grad_out[:, p::cd]
+            for chan_slice, col_slice in segments:
+                grad_w[p::cd, col_slice] = planned_einsum(
+                    "nohw,nchw->oc", g, x[:, chan_slice]
+                )
+                stats.gemm_calls += 1
+    grad_x = None
+    if need_x:
+        if backward_design == "input_centric":
+            # One dense pull GEMM, zero scatter updates.  The W_full scratch
+            # workspace comes from the plan cache (refilled, not rebuilt).
+            w_full = plan.w_full(w)
+            stats.bytes_materialized += w_full.nbytes
+            grad_x = planned_einsum("nohw,oc->nchw", grad_out, w_full)
+            stats.gemm_calls += 1
+            grad_x = grad_x.astype(x.dtype, copy=False)
+        else:
+            # Output-centric (*DSXplore-Var*): push with serialised conflicts.
+            contrib = planned_einsum("nohw,og->noghw", grad_out, w)
+            stats.bytes_materialized += contrib.nbytes
+            stats.gemm_calls += 1
+            grad_x = np.zeros_like(x)
+            idx_n = np.arange(grad_out.shape[0])[:, None, None]
+            np.add.at(grad_x, (idx_n, plan.windows[None, :, :]), contrib)
+            _count_push_scatter(plan, stats, contrib.size)
+    return grad_x, grad_w
+
+
+_FORWARD = {
+    "channel_stack": _channel_stack_forward,
+    "conv_stack": _conv_stack_forward,
+    "dsxplore": _dsxplore_forward,
+}
+
+_BACKWARD = {
+    "channel_stack": _channel_stack_backward,
+    "conv_stack": _conv_stack_backward,
+}
+
+
+@register_kernel("scc_forward", "numpy")
+def scc_forward(
+    plan: SCCPlan,
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    strategy: str = "dsxplore",
+    stats: KernelStats | None = None,
+):
+    try:
+        fwd = _FORWARD[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown SCC strategy {strategy!r}; available: {sorted(_FORWARD)}"
+        ) from None
+    return fwd(plan, x, w, stats if stats is not None else KernelStats())
+
+
+@register_kernel("scc_backward", "numpy")
+def scc_backward(
+    plan: SCCPlan,
+    saved: dict,
+    grad_out: np.ndarray,
+    *,
+    strategy: str = "dsxplore",
+    backward_design: str = "input_centric",
+    need_input_grad: bool = True,
+    need_weight_grad: bool = True,
+    stats: KernelStats | None = None,
+):
+    stats = stats if stats is not None else KernelStats()
+    if strategy == "dsxplore":
+        return _dsxplore_backward(
+            plan, saved, grad_out, need_input_grad, need_weight_grad, stats,
+            backward_design,
+        )
+    try:
+        bwd = _BACKWARD[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown SCC strategy {strategy!r}; available: "
+            f"{sorted(_BACKWARD) + ['dsxplore']}"
+        ) from None
+    return bwd(plan, saved, grad_out, need_input_grad, need_weight_grad, stats)

@@ -1,0 +1,92 @@
+"""The kernel registry: named ops dispatched to pluggable backends.
+
+Every execution primitive of the reproduction — ``conv2d``, ``scc_forward``,
+``scc_backward``, pooling — is registered here under one or more backend
+names.  Callers dispatch with :func:`get_kernel`:
+
+- ``"reference"`` — naive loop kernels, the ground truth every fast path is
+  tested against;
+- ``"numpy"`` — the vectorised einsum / ``as_strided`` fast paths, fed by
+  cached execution plans;
+- ``"default"`` — auto-selects the best available backend (numpy when
+  registered, reference otherwise).
+
+The registry is intentionally dumb: a two-level dict plus a preference
+order.  Backends self-register at import time via the
+:func:`register_kernel` decorator, so adding a backend (numba, threaded,
+...) is one new module that never touches call sites.
+"""
+from __future__ import annotations
+
+from typing import Callable
+
+#: Auto-selection order for ``backend="default"``.
+DEFAULT_BACKEND_ORDER = ("numpy", "reference")
+
+
+class KernelRegistry:
+    """Two-level dispatch table: op name -> backend name -> kernel callable."""
+
+    def __init__(self, default_order: tuple[str, ...] = DEFAULT_BACKEND_ORDER) -> None:
+        self._kernels: dict[str, dict[str, Callable]] = {}
+        self.default_order = default_order
+
+    def register(self, op: str, backend: str) -> Callable[[Callable], Callable]:
+        """Decorator registering ``fn`` as the ``backend`` implementation of ``op``."""
+
+        def decorator(fn: Callable) -> Callable:
+            self._kernels.setdefault(op, {})[backend] = fn
+            return fn
+
+        return decorator
+
+    def get(self, op: str, backend: str = "default") -> Callable:
+        """Resolve one kernel; raises ``ValueError`` naming the alternatives."""
+        try:
+            impls = self._kernels[op]
+        except KeyError:
+            raise ValueError(
+                f"unknown kernel op {op!r}; registered ops: {self.ops()}"
+            ) from None
+        if backend in (None, "default"):
+            for name in self.default_order:
+                if name in impls:
+                    return impls[name]
+            return next(iter(impls.values()))
+        try:
+            return impls[backend]
+        except KeyError:
+            raise ValueError(
+                f"op {op!r} has no backend {backend!r}; "
+                f"available: {self.backends(op)} (or 'default')"
+            ) from None
+
+    def resolve_name(self, op: str, backend: str = "default") -> str:
+        """The concrete backend name ``get(op, backend)`` would dispatch to."""
+        fn = self.get(op, backend)
+        for name, impl in self._kernels[op].items():
+            if impl is fn:
+                return name
+        raise AssertionError("unreachable: resolved kernel not in registry")
+
+    def backends(self, op: str) -> tuple[str, ...]:
+        return tuple(sorted(self._kernels.get(op, {})))
+
+    def ops(self) -> tuple[str, ...]:
+        return tuple(sorted(self._kernels))
+
+
+#: The process-wide registry all layers and benchmarks dispatch through.
+REGISTRY = KernelRegistry()
+
+
+def register_kernel(op: str, backend: str) -> Callable[[Callable], Callable]:
+    return REGISTRY.register(op, backend)
+
+
+def get_kernel(op: str, backend: str = "default") -> Callable:
+    return REGISTRY.get(op, backend)
+
+
+def available_backends(op: str) -> tuple[str, ...]:
+    return REGISTRY.backends(op)

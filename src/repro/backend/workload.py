@@ -1,0 +1,123 @@
+"""Workload descriptors and the process-wide execution-plan cache.
+
+A :class:`Workload` is a hashable value-object naming one op invocation
+shape-class: the op, the operand shapes, the dtype and the static
+hyper-parameters (stride/padding/groups, cg/co, ...).  Anything derivable
+from a workload alone — window/segment index tables, ``np.einsum_path``
+contraction plans, scratch buffers — is computed once, stored in the
+:class:`PlanCache`, and reused by every subsequent call with the same
+workload.  This is the repo's analog of TVM/topi's per-workload schedule
+tables: dispatch keys on *what* is being computed, plans capture *how*.
+"""
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Hashable descriptor of one kernel-invocation shape-class."""
+
+    op: str
+    in_shape: tuple = ()
+    weight_shape: tuple = ()
+    dtype: str = "float32"
+    params: tuple = ()  # sorted (name, value) pairs of static hyper-parameters
+
+    @classmethod
+    def make(
+        cls,
+        op: str,
+        in_shape: tuple = (),
+        weight_shape: tuple = (),
+        dtype: Any = "float32",
+        **params: Any,
+    ) -> "Workload":
+        return cls(
+            op=op,
+            in_shape=tuple(in_shape),
+            weight_shape=tuple(weight_shape),
+            # Canonical name so "float32", np.float32 and np.dtype("float32")
+            # all key the same plan.
+            dtype=np.dtype(dtype).name,
+            params=tuple(sorted(params.items())),
+        )
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+
+class PlanCache:
+    """LRU cache mapping :class:`Workload` -> execution plan.
+
+    Plans are built on first use by the ``builder`` passed to
+    :meth:`get_or_build`; a builder that raises caches nothing, so invalid
+    workloads fail identically on every call.  Hit/miss counters make the
+    cache's effect observable (``bench_ablation_plan_cache`` reports them).
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._plans: OrderedDict[Workload, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get_or_build(self, workload: Workload, builder: Callable[[], Any]) -> Any:
+        with self._lock:
+            if workload in self._plans:
+                self.hits += 1
+                self._plans.move_to_end(workload)
+                return self._plans[workload]
+            self.misses += 1
+        plan = builder()  # outside the lock: builders may be slow
+        with self._lock:
+            self._plans[workload] = plan
+            self._plans.move_to_end(workload)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+        return plan
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, workload: Workload) -> bool:
+        return workload in self._plans
+
+
+#: The process-wide plan cache every backend kernel shares.
+PLAN_CACHE = PlanCache()
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the global plan cache."""
+    return PLAN_CACHE.stats()
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (used by benchmarks to model cold execution)."""
+    PLAN_CACHE.clear()

@@ -20,30 +20,27 @@ from repro.tensor import Tensor
 from repro.tensor.function import Function
 from repro.utils.rng import get_rng
 
-# Per-call state a strategy saves between forward and backward.  The autograd
-# wrapper checkpoints these onto the Function node so one strategy instance
-# (with its precomputed window/segment tables — the Algorithm-2 reuse) can be
-# shared across many forward calls and the graph stays re-entrant.
-_SAVED_ATTRS = ("_x", "_w", "_stacked", "_gathered")
-
-
 class SCCFunction(Function):
-    """Differentiable SCC op delegating to a kernel strategy."""
+    """Differentiable SCC op delegating to a kernel strategy.
+
+    The per-call state a backend kernel saves between forward and backward
+    (``strategy._saved``) is checkpointed onto the Function node, so one
+    strategy instance — with its cached plan (window/segment tables, the
+    Algorithm-2 reuse) — can be shared across many forward calls and the
+    graph stays re-entrant.
+    """
 
     def forward(self, x: np.ndarray, w: np.ndarray, strategy: _StrategyBase = None) -> np.ndarray:
         if strategy is None:
             raise ValueError("SCCFunction requires a kernel strategy instance")
         self.strategy = strategy
         out = strategy.forward(x, w)
-        self.saved_state = {
-            name: getattr(strategy, name) for name in _SAVED_ATTRS if hasattr(strategy, name)
-        }
+        self.saved_state = strategy._saved
         return out
 
     def backward(self, grad_output: np.ndarray):
         strategy = self.strategy
-        for name, value in self.saved_state.items():
-            setattr(strategy, name, value)
+        strategy._saved = self.saved_state
         need_x, need_w = self.needs_input_grad
         grad_x, grad_w = strategy.backward(
             grad_output, need_input_grad=need_x, need_weight_grad=need_w
@@ -73,6 +70,10 @@ class SlidingChannelConv2d(Module):
     backward_design:
         for ``impl="dsxplore"`` only: ``"input_centric"`` (default) or
         ``"output_centric"`` (the DSXplore-Var ablation).
+    backend:
+        kernel backend the strategy dispatches through
+        (:mod:`repro.backend`): ``"default"``, ``"numpy"`` or
+        ``"reference"``.
     """
 
     def __init__(
@@ -84,6 +85,7 @@ class SlidingChannelConv2d(Module):
         bias: bool = True,
         impl: str = "dsxplore",
         backward_design: str = "input_centric",
+        backend: str = "default",
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
@@ -94,8 +96,9 @@ class SlidingChannelConv2d(Module):
         self.co = co
         self.impl = impl
         self.backward_design = backward_design
+        self.backend = backend
         kwargs = {"backward_design": backward_design} if impl == "dsxplore" else {}
-        self.strategy = make_strategy(impl, self.config, **kwargs)
+        self.strategy = make_strategy(impl, self.config, backend=backend, **kwargs)
 
         gen = rng if rng is not None else get_rng()
         gw = self.config.group_width
@@ -125,7 +128,11 @@ class SlidingChannelConv2d(Module):
         kwargs = (
             {"backward_design": self.backward_design} if impl == "dsxplore" else {}
         )
-        object.__setattr__(self, "strategy", make_strategy(impl, self.config, **kwargs))
+        object.__setattr__(
+            self,
+            "strategy",
+            make_strategy(impl, self.config, backend=self.backend, **kwargs),
+        )
 
     def __repr__(self) -> str:
         return (

@@ -29,6 +29,13 @@ Dsxplore          the fused kernel: output-centric forward reading input
                   exactly like GPU atomics do).
 ================  =====================================================
 
+Execution routes through :mod:`repro.backend`: every strategy shares the
+per-configuration :class:`~repro.backend.plan.SCCPlan` (window matrix,
+channel cycle, segment table — paper Algorithms 1+2, computed once per
+process) and dispatches the actual kernel through the registry.  The
+``numpy`` backend implements all three strategies; the ``reference``
+backend runs the defining loop equation for any of them.
+
 CPU/GPU mapping note (DESIGN.md section 2): relative costs transfer because
 the dominant effects — materialised bytes, number of distinct kernel
 invocations, and serialised conflicting updates — exist on both targets.
@@ -37,58 +44,59 @@ applied sequentially, which is the same serialisation GPU atomics pay.
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import inspect
 
 import numpy as np
 
-from repro.core.channel_map import (
-    SCCConfig,
-    channel_windows,
-    compute_channel_cycle,
-    window_segments,
-)
+from repro.backend import KernelStats, get_kernel, scc_plan
+from repro.backend.reference import scc_forward_loops
+from repro.core.channel_map import SCCConfig
 
-
-@dataclass
-class KernelStats:
-    """Instrumentation counters accumulated by one strategy invocation."""
-
-    bytes_materialized: int = 0      # temporary buffers allocated (data duplication)
-    gemm_calls: int = 0              # distinct contraction launches
-    scatter_adds: int = 0            # elementwise updates via scatter (atomic analog)
-    conflicting_scatter_adds: int = 0  # scatter updates hitting already-touched cells
-
-    def reset(self) -> None:
-        self.bytes_materialized = 0
-        self.gemm_calls = 0
-        self.scatter_adds = 0
-        self.conflicting_scatter_adds = 0
+__all__ = [
+    "KernelStats",
+    "ChannelStack",
+    "ConvStackCC",
+    "Dsxplore",
+    "STRATEGIES",
+    "make_strategy",
+    "scc_forward_reference",
+]
 
 
 def scc_forward_reference(x: np.ndarray, w: np.ndarray, windows: np.ndarray) -> np.ndarray:
     """Dead-simple loop implementation of paper Eq. for SCC; tests only."""
-    n, cin, h, wdt = x.shape
-    cout, gw = w.shape
-    out = np.zeros((n, cout, h, wdt), dtype=np.result_type(x, w))
-    for o in range(cout):
-        for g in range(gw):
-            out[:, o] += w[o, g] * x[:, windows[o, g]]
-    return out.astype(x.dtype)
+    return scc_forward_loops(x, w, windows)
 
 
 class _StrategyBase:
-    """Shared config plumbing for the three strategies."""
+    """Shared plumbing: cached plan, registry dispatch, saved-state handling."""
 
-    def __init__(self, config: SCCConfig) -> None:
+    name: str = ""
+
+    def __init__(self, config: SCCConfig, backend: str = "default") -> None:
         self.config = config
-        self.windows = channel_windows(
-            config.in_channels, config.out_channels, config.cg, config.co
-        )
-        self.cycle = compute_channel_cycle(
-            config.in_channels, config.cg, config.co, config.out_channels
-        )
-        self.cyclic_dist = len(self.cycle)
+        self.backend = backend
+        self.plan = scc_plan(config)
         self.stats = KernelStats()
+        self._forward_kernel = get_kernel("scc_forward", backend)
+        self._backward_kernel = get_kernel("scc_backward", backend)
+        self._backward_kwargs: dict = {}
+        # Per-call state the kernel saves between forward and backward; the
+        # autograd wrapper (repro.core.scc) checkpoints this dict so one
+        # strategy instance stays re-entrant across many forward calls.
+        self._saved: dict | None = None
+
+    @property
+    def windows(self) -> np.ndarray:
+        return self.plan.windows
+
+    @property
+    def cycle(self) -> list:
+        return self.plan.cycle
+
+    @property
+    def cyclic_dist(self) -> int:
+        return self.plan.cyclic_dist
 
     def _check_shapes(self, x: np.ndarray, w: np.ndarray) -> None:
         cfg = self.config
@@ -102,12 +110,28 @@ class _StrategyBase:
             )
 
     def forward(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
-        raise NotImplementedError
+        self._check_shapes(x, w)
+        self.stats.reset()
+        out, self._saved = self._forward_kernel(
+            self.plan, x, w, strategy=self.name, stats=self.stats
+        )
+        return out
 
     def backward(
         self, grad_out: np.ndarray, need_input_grad: bool = True, need_weight_grad: bool = True
     ) -> tuple[np.ndarray | None, np.ndarray | None]:
-        raise NotImplementedError
+        if self._saved is None:
+            raise RuntimeError(f"{type(self).__name__}.backward called before forward")
+        return self._backward_kernel(
+            self.plan,
+            self._saved,
+            grad_out,
+            strategy=self.name,
+            stats=self.stats,
+            need_input_grad=need_input_grad,
+            need_weight_grad=need_weight_grad,
+            **self._backward_kwargs,
+        )
 
 
 class ChannelStack(_StrategyBase):
@@ -119,46 +143,7 @@ class ChannelStack(_StrategyBase):
     OOMs at ImageNet scale (paper Section V-C).
     """
 
-    def forward(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
-        self._check_shapes(x, w)
-        self.stats.reset()
-        # Steps 1-3: one fancy-index gather == slice+concat of every window.
-        stacked = x[:, self.windows]                      # (N, Cout, gw, H, W) copy
-        self.stats.bytes_materialized += stacked.nbytes
-        self.stats.gemm_calls += 1
-        self._x = x
-        self._w = w
-        self._stacked = stacked
-        # Step 4: grouped convolution with groups == Cout.
-        return np.einsum("noghw,og->nohw", stacked, w, optimize=True)
-
-    def backward(self, grad_out, need_input_grad=True, need_weight_grad=True):
-        w, stacked = self._w, self._stacked
-        grad_x = grad_w = None
-        if need_weight_grad:
-            grad_w = np.einsum("nohw,noghw->og", grad_out, stacked, optimize=True)
-            self.stats.gemm_calls += 1
-        if need_input_grad:
-            # Reverse of the concat/extract: scatter the stacked gradient
-            # back, with conflicts wherever windows overlap.
-            grad_stacked = np.einsum("nohw,og->noghw", grad_out, w, optimize=True)
-            self.stats.bytes_materialized += grad_stacked.nbytes
-            self.stats.gemm_calls += 1
-            grad_x = np.zeros_like(self._x)
-            n = grad_out.shape[0]
-            idx_n = np.arange(n)[:, None, None]
-            np.add.at(grad_x, (idx_n, self.windows[None, :, :]), grad_stacked)
-            self._count_scatter(grad_stacked.size)
-        return grad_x, grad_w
-
-    def _count_scatter(self, total_updates: int) -> None:
-        cfg = self.config
-        self.stats.scatter_adds += total_updates
-        # Each input channel is read by Cout*gw/Cin filters on average; every
-        # read beyond the first conflicts during the scatter.
-        reads_per_channel = cfg.out_channels * cfg.group_width / cfg.in_channels
-        conflict_fraction = max(0.0, 1.0 - 1.0 / reads_per_channel)
-        self.stats.conflicting_scatter_adds += int(total_updates * conflict_fraction)
+    name = "channel_stack"
 
 
 class ConvStackCC(_StrategyBase):
@@ -170,51 +155,7 @@ class ConvStackCC(_StrategyBase):
     an interleave, done without an extra buffer here).
     """
 
-    def forward(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
-        self._check_shapes(x, w)
-        self.stats.reset()
-        cfg = self.config
-        cd = self.cyclic_dist
-        n, _, h, wdt = x.shape
-        out = np.empty((n, cfg.out_channels, h, wdt), dtype=x.dtype)
-        self._gathered: list[np.ndarray] = []
-        gw = cfg.group_width
-        for p, (start, _end) in enumerate(self.cycle):
-            idx = (start + np.arange(gw)) % cfg.in_channels
-            win = x[:, idx]                               # (N, gw, H, W) copy
-            self.stats.bytes_materialized += win.nbytes
-            self._gathered.append(win)
-            out[:, p::cd] = np.einsum("nghw,og->nohw", win, w[p::cd], optimize=True)
-            self.stats.gemm_calls += 1
-        self._x = x
-        self._w = w
-        return out
-
-    def backward(self, grad_out, need_input_grad=True, need_weight_grad=True):
-        cfg = self.config
-        cd = self.cyclic_dist
-        gw = cfg.group_width
-        w = self._w
-        grad_x = np.zeros_like(self._x) if need_input_grad else None
-        grad_w = np.empty_like(w) if need_weight_grad else None
-        for p, (start, _end) in enumerate(self.cycle):
-            idx = (start + np.arange(gw)) % cfg.in_channels
-            g = grad_out[:, p::cd]
-            if need_weight_grad:
-                grad_w[p::cd] = np.einsum("nohw,nghw->og", g, self._gathered[p], optimize=True)
-                self.stats.gemm_calls += 1
-            if need_input_grad:
-                contrib = np.einsum("nohw,og->nghw", g, w[p::cd], optimize=True)
-                self.stats.bytes_materialized += contrib.nbytes
-                self.stats.gemm_calls += 1
-                # Within one cycle position the window channels are distinct,
-                # so a fancy-index += is conflict-free; conflicts across
-                # cycle positions are resolved by this serial per-p loop
-                # (framework-level serialisation, the paper's point about
-                # composed-operator implementations).
-                grad_x[:, idx] += contrib
-                self.stats.scatter_adds += contrib.size
-        return grad_x, grad_w
+    name = "conv_stack"
 
 
 class Dsxplore(_StrategyBase):
@@ -222,9 +163,9 @@ class Dsxplore(_StrategyBase):
 
     Forward — *output-centric*: every output pixel ``out[n, o, y, x]`` is an
     independent dot product ``w[o, :] . x[n, win(o), y, x]`` (one GPU thread
-    each in the paper).  Vectorised here as one contraction per cycle
-    position *per contiguous window segment*, reading ``x`` through
-    zero-copy channel-slice views — no gather, no duplication.
+    each in the paper).  Vectorised as one contraction per cycle position
+    *per contiguous window segment*, reading ``x`` through zero-copy
+    channel-slice views — no gather, no duplication.
 
     Backward — *input-centric* by default: the dense per-output-channel
     weight matrix ``W_full (Cout, Cin)`` (zeros outside each filter's
@@ -238,89 +179,22 @@ class Dsxplore(_StrategyBase):
     GPU atomics serialise colliding updates.
     """
 
-    def __init__(self, config: SCCConfig, backward_design: str = "input_centric") -> None:
-        super().__init__(config)
+    name = "dsxplore"
+
+    def __init__(
+        self,
+        config: SCCConfig,
+        backward_design: str = "input_centric",
+        backend: str = "default",
+    ) -> None:
         if backward_design not in ("input_centric", "output_centric"):
             raise ValueError(
                 f"backward_design must be 'input_centric' or 'output_centric', "
                 f"got {backward_design!r}"
             )
+        super().__init__(config, backend=backend)
         self.backward_design = backward_design
-        # Algorithm 2: the per-cycle segment table is computed once and
-        # reused by every forward/backward call (channel-cyclic index reuse).
-        self._segments = [
-            window_segments(start, config.group_width, config.in_channels)
-            for start, _ in self.cycle
-        ]
-
-    def forward(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
-        self._check_shapes(x, w)
-        self.stats.reset()
-        cfg = self.config
-        cd = self.cyclic_dist
-        n, _, h, wdt = x.shape
-        out = np.zeros((n, cfg.out_channels, h, wdt), dtype=x.dtype)
-        for p, segments in enumerate(self._segments):
-            wp = w[p::cd]
-            for chan_slice, col_slice in segments:
-                # x[:, chan_slice] is a view — zero bytes materialised.
-                out[:, p::cd] += np.einsum(
-                    "nchw,oc->nohw", x[:, chan_slice], wp[:, col_slice], optimize=True
-                )
-                self.stats.gemm_calls += 1
-        self._x = x
-        self._w = w
-        return out
-
-    def backward(self, grad_out, need_input_grad=True, need_weight_grad=True):
-        grad_w = self._backward_weight(grad_out) if need_weight_grad else None
-        grad_x = None
-        if need_input_grad:
-            if self.backward_design == "input_centric":
-                grad_x = self._backward_input_pull(grad_out)
-            else:
-                grad_x = self._backward_input_push(grad_out)
-        return grad_x, grad_w
-
-    def _backward_weight(self, grad_out: np.ndarray) -> np.ndarray:
-        cd = self.cyclic_dist
-        x = self._x
-        grad_w = np.empty_like(self._w)
-        for p, segments in enumerate(self._segments):
-            g = grad_out[:, p::cd]
-            for chan_slice, col_slice in segments:
-                grad_w[p::cd, col_slice] = np.einsum(
-                    "nohw,nchw->oc", g, x[:, chan_slice], optimize=True
-                )
-                self.stats.gemm_calls += 1
-        return grad_w
-
-    def _backward_input_pull(self, grad_out: np.ndarray) -> np.ndarray:
-        """Input-centric: one dense pull GEMM, zero scatter updates."""
-        cfg = self.config
-        w_full = np.zeros((cfg.out_channels, cfg.in_channels), dtype=self._w.dtype)
-        oid = np.arange(cfg.out_channels)[:, None]
-        w_full[oid, self.windows] = self._w     # collision-free: rows distinct
-        self.stats.bytes_materialized += w_full.nbytes
-        grad_x = np.einsum("nohw,oc->nchw", grad_out, w_full, optimize=True)
-        self.stats.gemm_calls += 1
-        return grad_x.astype(self._x.dtype, copy=False)
-
-    def _backward_input_push(self, grad_out: np.ndarray) -> np.ndarray:
-        """Output-centric (*DSXplore-Var*): push with serialised conflicts."""
-        cfg = self.config
-        contrib = np.einsum("nohw,og->noghw", grad_out, self._w, optimize=True)
-        self.stats.bytes_materialized += contrib.nbytes
-        self.stats.gemm_calls += 1
-        grad_x = np.zeros_like(self._x)
-        n = grad_out.shape[0]
-        idx_n = np.arange(n)[:, None, None]
-        np.add.at(grad_x, (idx_n, self.windows[None, :, :]), contrib)
-        self.stats.scatter_adds += contrib.size
-        reads_per_channel = cfg.out_channels * cfg.group_width / cfg.in_channels
-        conflict_fraction = max(0.0, 1.0 - 1.0 / reads_per_channel)
-        self.stats.conflicting_scatter_adds += int(contrib.size * conflict_fraction)
-        return grad_x
+        self._backward_kwargs = {"backward_design": backward_design}
 
 
 STRATEGIES = {
@@ -338,4 +212,12 @@ def make_strategy(name: str, config: SCCConfig, **kwargs) -> _StrategyBase:
         raise ValueError(
             f"unknown SCC strategy {name!r}; available: {sorted(STRATEGIES)}"
         ) from None
+    params = inspect.signature(cls).parameters
+    unknown = sorted(set(kwargs) - set(params))
+    if unknown:
+        accepted = sorted(k for k in params if k != "config")
+        raise ValueError(
+            f"strategy {name!r} got unexpected keyword argument(s) "
+            f"{', '.join(map(repr, unknown))}; {name!r} accepts: {accepted}"
+        )
     return cls(config, **kwargs)

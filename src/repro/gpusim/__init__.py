@@ -15,8 +15,10 @@ first-order, countable quantities:
 :mod:`repro.gpusim` models exactly these effects and nothing more.  Inputs
 are per-strategy workload descriptions built from real model shapes
 (:mod:`repro.gpusim.workloads`), cross-checked against the instrumentation
-counters the NumPy kernels collect (:class:`repro.core.scc_kernels.KernelStats`).
+counters the real kernels collect while running through the
+:mod:`repro.backend` registry (:mod:`repro.gpusim.crosscheck`).
 """
+from repro.gpusim.crosscheck import StatsCrossCheck, crosscheck_all, crosscheck_scc_stats
 from repro.gpusim.device import DeviceSpec, tesla_v100
 from repro.gpusim.kernel import KernelLaunch, kernel_time, simulate_kernels
 from repro.gpusim.memory import MemoryModel, MemoryReport, OutOfMemoryError
@@ -31,6 +33,9 @@ from repro.gpusim.timeline import StepTime, training_step_time, inference_time
 from repro.gpusim.multigpu import ring_allreduce_time, data_parallel_step_time
 
 __all__ = [
+    "StatsCrossCheck",
+    "crosscheck_all",
+    "crosscheck_scc_stats",
     "DeviceSpec",
     "tesla_v100",
     "KernelLaunch",

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import nn
+from repro.backend import scc_conflict_fraction
 from repro.core.channel_map import cyclic_distance
 from repro.core.scc import SlidingChannelConv2d
 from repro.gpusim.kernel import KernelLaunch
@@ -176,10 +177,12 @@ def extract_layer_shapes(model: nn.Module, input_shape: tuple[int, int, int]) ->
 # ---------------------------------------------------------------------------
 
 def _scc_conflict_fraction(shape: LayerShape) -> float:
-    """Fraction of scatter updates hitting an already-written input cell."""
-    geo = shape.scc
-    reads_per_channel = shape.cout * geo.group_width / shape.cin
-    return max(0.0, 1.0 - 1.0 / reads_per_channel)
+    """Fraction of scatter updates hitting an already-written input cell.
+
+    Shared with the measuring kernels (:mod:`repro.backend.stats`) so the
+    analytic model and the instrumentation counters agree by construction.
+    """
+    return scc_conflict_fraction(shape.cin, shape.cout, shape.scc.group_width)
 
 
 def scc_layer_kernels(

@@ -41,6 +41,7 @@ def build_model(
     width_mult: float = 1.0,
     imagenet_stem: bool = False,
     impl: str = "dsxplore",
+    backend: str = "default",
     rng: np.random.Generator | None = None,
 ) -> nn.Module:
     """Build a model by paper name.
@@ -64,6 +65,7 @@ def build_model(
         co=co,
         width_mult=width_mult,
         impl=impl,
+        backend=backend,
         rng=rng,
     )
     if name.startswith(("resnet", "mobilenet")):

@@ -6,7 +6,8 @@
 - :class:`GroupPointwiseConv2d` — GPW, grouped 1x1 (Fig. 1e).
 
 The paper's new kernel, SCC, lives in :mod:`repro.core.scc` and is a drop-in
-peer of these modules.
+peer of these modules.  Every module takes a ``backend=`` argument selecting
+the :mod:`repro.backend` kernel implementation it dispatches through.
 """
 from __future__ import annotations
 
@@ -30,6 +31,7 @@ class Conv2d(Module):
         padding: int = 0,
         groups: int = 1,
         bias: bool = True,
+        backend: str = "default",
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
@@ -44,6 +46,7 @@ class Conv2d(Module):
         self.stride = stride
         self.padding = padding
         self.groups = groups
+        self.backend = backend
         wshape = (out_channels, in_channels // groups, kernel_size, kernel_size)
         self.weight = Parameter(init.kaiming_normal(wshape, rng=rng))
         if bias:
@@ -54,7 +57,8 @@ class Conv2d(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         out = conv_ops.Conv2d.apply(
-            x, self.weight, stride=self.stride, padding=self.padding, groups=self.groups
+            x, self.weight, stride=self.stride, padding=self.padding,
+            groups=self.groups, backend=self.backend,
         )
         if self.bias is not None:
             out = out + self.bias.reshape(1, -1, 1, 1)
@@ -72,8 +76,10 @@ class PointwiseConv2d(Conv2d):
     """PW convolution: 1x1 standard conv fusing all input channels."""
 
     def __init__(self, in_channels: int, out_channels: int, bias: bool = True,
+                 backend: str = "default",
                  rng: np.random.Generator | None = None) -> None:
-        super().__init__(in_channels, out_channels, kernel_size=1, bias=bias, rng=rng)
+        super().__init__(in_channels, out_channels, kernel_size=1, bias=bias,
+                         backend=backend, rng=rng)
 
 
 class DepthwiseConv2d(Conv2d):
@@ -86,6 +92,7 @@ class DepthwiseConv2d(Conv2d):
         stride: int = 1,
         padding: int = 1,
         bias: bool = False,
+        backend: str = "default",
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__(
@@ -96,6 +103,7 @@ class DepthwiseConv2d(Conv2d):
             padding=padding,
             groups=channels,
             bias=bias,
+            backend=backend,
             rng=rng,
         )
 
@@ -109,8 +117,10 @@ class GroupPointwiseConv2d(Conv2d):
         out_channels: int,
         groups: int,
         bias: bool = True,
+        backend: str = "default",
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__(
-            in_channels, out_channels, kernel_size=1, groups=groups, bias=bias, rng=rng
+            in_channels, out_channels, kernel_size=1, groups=groups, bias=bias,
+            backend=backend, rng=rng,
         )

@@ -5,47 +5,28 @@ convolution here is what the paper's *Pytorch-Base* and *Pytorch-Opt* SCC
 strategies composite (Section IV-A), while the fused DSXplore SCC kernel
 lives in :mod:`repro.core.scc_kernels`.
 
-Implementation idiom (per the session HPC guides): the input patch matrix is
-a zero-copy strided *view* (``as_strided``), reductions are ``einsum`` calls
-over that view so no im2col buffer is ever materialised, and the data-grad
-scatter runs as ``KH*KW`` strided accumulations instead of a per-element
-``np.add.at`` scatter.
+Execution routes through the :mod:`repro.backend` registry: each Function
+resolves its workload to a cached execution plan (geometry + contraction
+paths, see :mod:`repro.backend.plan`) and dispatches to the selected
+backend — ``"numpy"`` (zero-copy ``as_strided`` patch views + planned
+einsum, the default) or ``"reference"`` (loop kernels).  Repeated-shape
+calls reuse the plan; only the first call of a shape-class pays the
+``np.einsum_path`` search and geometry checks.
 """
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import conv2d_plan, conv_out_size, get_kernel, pool2d_plan
 from repro.tensor.function import Function
 
-
-def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
-    """Output spatial size of a convolution/pooling window sweep."""
-    out = (size + 2 * padding - kernel) // stride + 1
-    if out <= 0:
-        raise ValueError(
-            f"convolution produces empty output: size={size}, kernel={kernel}, "
-            f"stride={stride}, padding={padding}"
-        )
-    return out
-
-
-def _patch_view(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
-    """Zero-copy (N, C, Ho, Wo, KH, KW) sliding-window view of padded input."""
-    n, c, h, w = x.shape
-    ho = (h - kh) // stride + 1
-    wo = (w - kw) // stride + 1
-    if ho <= 0 or wo <= 0:
-        raise ValueError(
-            f"window of {kh}x{kw} (stride {stride}) produces empty output on "
-            f"{h}x{w} input — input too small for this layer stack"
-        )
-    sn, sc, sh, sw = x.strides
-    return np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, ho, wo, kh, kw),
-        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
-        writeable=False,
-    )
+__all__ = [
+    "conv_out_size",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "BatchNorm2d",
+]
 
 
 class Conv2d(Function):
@@ -63,78 +44,22 @@ class Conv2d(Function):
         stride: int = 1,
         padding: int = 0,
         groups: int = 1,
+        backend: str = "default",
     ) -> np.ndarray:
-        n, cin, h, w = x.shape
-        cout, cin_g, kh, kw = weight.shape
-        if cin % groups or cout % groups:
-            raise ValueError(f"groups={groups} must divide Cin={cin} and Cout={cout}")
-        if cin_g != cin // groups:
-            raise ValueError(
-                f"weight expects {cin_g} input channels per group but input provides "
-                f"{cin // groups} (Cin={cin}, groups={groups})"
-            )
-        self.stride, self.padding, self.groups = stride, padding, groups
-
-        xp = x if padding == 0 else np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-        self.save_for_backward(xp, weight, x.shape)
-        patches = _patch_view(xp, kh, kw, stride)
-        out_per_group = cout // groups
-        if groups == 1:
-            return np.einsum("nchwij,ocij->nohw", patches, weight, optimize=True)
-        outs = np.empty(
-            (n, cout, patches.shape[2], patches.shape[3]), dtype=x.dtype
-        )
-        cg = cin // groups
-        for g in range(groups):
-            outs[:, g * out_per_group : (g + 1) * out_per_group] = np.einsum(
-                "nchwij,ocij->nohw",
-                patches[:, g * cg : (g + 1) * cg],
-                weight[g * out_per_group : (g + 1) * out_per_group],
-                optimize=True,
-            )
-        return outs
+        plan = conv2d_plan(x.shape, weight.shape, stride, padding, groups, x.dtype)
+        out, ctx = get_kernel("conv2d", backend)(plan, x, weight)
+        self.plan = plan
+        self.ctx = ctx
+        self.backend = backend
+        return out
 
     def backward(self, grad: np.ndarray):
-        xp, weight, x_shape = self.saved
-        stride, padding, groups = self.stride, self.padding, self.groups
-        cout, cin_g, kh, kw = weight.shape
-        n = xp.shape[0]
-        ho, wo = grad.shape[2], grad.shape[3]
-
-        patches = _patch_view(xp, kh, kw, stride)
-        cg = xp.shape[1] // groups
-        og = cout // groups
-
         need_x = self.needs_input_grad[0]
         need_w = len(self.needs_input_grad) > 1 and self.needs_input_grad[1]
-
-        grad_w = np.zeros_like(weight) if need_w else None
-        grad_xp = np.zeros_like(xp) if need_x else None
-
-        for g in range(groups):
-            gsl = slice(g * og, (g + 1) * og)
-            csl = slice(g * cg, (g + 1) * cg)
-            gout = grad[:, gsl]
-            if need_w:
-                grad_w[gsl] = np.einsum(
-                    "nohw,nchwij->ocij", gout, patches[:, csl], optimize=True
-                )
-            if need_x:
-                # Scatter the data gradient as KH*KW strided accumulations.
-                wg = weight[gsl]
-                for i in range(kh):
-                    for j in range(kw):
-                        contrib = np.einsum("nohw,oc->nchw", gout, wg[:, :, i, j], optimize=True)
-                        grad_xp[:, csl, i : i + ho * stride : stride, j : j + wo * stride : stride] += contrib
-
-        grad_x = None
-        if need_x:
-            if padding:
-                grad_x = np.ascontiguousarray(
-                    grad_xp[:, :, padding:-padding, padding:-padding]
-                )
-            else:
-                grad_x = grad_xp
+        grad_x, grad_w = get_kernel("conv2d_backward", self.backend)(
+            self.plan, self.ctx, grad,
+            need_input_grad=need_x, need_weight_grad=need_w,
+        )
         results = [grad_x]
         if len(self.needs_input_grad) > 1:
             results.append(grad_w)
@@ -144,57 +69,47 @@ class Conv2d(Function):
 class MaxPool2d(Function):
     """Max pooling with optional padding; supports overlapping windows."""
 
-    def forward(self, x: np.ndarray, kernel: int, stride: int, padding: int = 0) -> np.ndarray:
-        self.kernel, self.stride, self.padding = kernel, stride, padding
-        self.in_shape = x.shape
-        if padding:
-            x = np.pad(
-                x,
-                ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-                constant_values=-np.inf,
-            )
-        self.padded_shape = x.shape
-        patches = _patch_view(x, kernel, kernel, stride)
-        n, c, ho, wo = patches.shape[:4]
-        flat = patches.reshape(n, c, ho, wo, kernel * kernel)
-        self.argmax = flat.argmax(axis=-1)
-        return flat.max(axis=-1)
+    def forward(
+        self,
+        x: np.ndarray,
+        kernel: int,
+        stride: int,
+        padding: int = 0,
+        backend: str = "default",
+    ) -> np.ndarray:
+        plan = pool2d_plan("max", x.shape, kernel, stride, padding, x.dtype)
+        out, ctx = get_kernel("maxpool2d", backend)(plan, x)
+        self.plan = plan
+        self.ctx = ctx
+        self.backend = backend
+        return out
 
     def backward(self, grad: np.ndarray):
-        kernel, stride, padding = self.kernel, self.stride, self.padding
-        n, c, hp, wp = self.padded_shape
-        ho, wo = grad.shape[2], grad.shape[3]
-        gxp = np.zeros((n, c, hp, wp), dtype=grad.dtype)
-        ki = self.argmax // kernel
-        kj = self.argmax % kernel
-        ni, ci, yi, xi = np.indices(grad.shape, sparse=False)
-        rows = yi * stride + ki
-        cols = xi * stride + kj
-        np.add.at(gxp, (ni, ci, rows, cols), grad)
-        if padding:
-            gxp = np.ascontiguousarray(gxp[:, :, padding:-padding, padding:-padding])
-        return (gxp,)
+        gx = get_kernel("maxpool2d_backward", self.backend)(self.plan, self.ctx, grad)
+        return (gx,)
 
 
 class AvgPool2d(Function):
     """Average pooling (non-overlapping fast path via reshape)."""
 
-    def forward(self, x: np.ndarray, kernel: int, stride: int | None = None) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        kernel: int,
+        stride: int | None = None,
+        backend: str = "default",
+    ) -> np.ndarray:
         stride = kernel if stride is None else stride
-        if stride != kernel:
-            raise NotImplementedError("AvgPool2d supports stride == kernel only")
-        n, c, h, w = x.shape
-        if h % kernel or w % kernel:
-            raise ValueError(f"spatial dims ({h},{w}) not divisible by kernel {kernel}")
-        self.kernel = kernel
-        self.in_shape = x.shape
-        return x.reshape(n, c, h // kernel, kernel, w // kernel, kernel).mean(axis=(3, 5))
+        plan = pool2d_plan("avg", x.shape, kernel, stride, 0, x.dtype)
+        out, ctx = get_kernel("avgpool2d", backend)(plan, x)
+        self.plan = plan
+        self.ctx = ctx
+        self.backend = backend
+        return out
 
     def backward(self, grad: np.ndarray):
-        k = self.kernel
-        scale = 1.0 / (k * k)
-        g = np.repeat(np.repeat(grad, k, axis=2), k, axis=3) * scale
-        return (g.astype(grad.dtype),)
+        gx = get_kernel("avgpool2d_backward", self.backend)(self.plan, self.ctx, grad)
+        return (gx,)
 
 
 class BatchNorm2d(Function):
