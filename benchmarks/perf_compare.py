@@ -1,0 +1,206 @@
+"""Perf-trajectory comparator: diff benchmarks/results/*.json across commits.
+
+Every benchmark writes a machine-readable JSON report via ``common.emit``;
+these are committed, so any two commits can be compared.  This script diffs
+the current results directory against a baseline (a git ref, usually the
+previous commit, or another directory) and **fails when a tracked metric
+regresses by more than the threshold** (default 20%).
+
+Direction is inferred from the metric name:
+
+- higher is better: ``speedup``, ``throughput``, ``ratio``, ``hit_rate``,
+  ``fill``, ``acc``, ``rps``;
+- lower is better: ``_ms``, ``latency``, ``time``, ``p50``, ``p95``;
+- anything else (counts, sizes, ids) is ignored.
+
+``--ratios-only`` restricts the diff to dimensionless metrics (speedups,
+hit rates, throughput ratios), which are robust across machines — that is
+the mode CI runs, since the committed baselines come from a different box
+than the CI runner.
+
+Usage::
+
+    python benchmarks/perf_compare.py --baseline-ref HEAD^ --ratios-only
+    python benchmarks/perf_compare.py --baseline-dir /tmp/old-results
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
+
+HIGHER_IS_BETTER = ("speedup", "throughput", "ratio", "hit_rate", "fill", "acc", "rps")
+LOWER_IS_BETTER = ("_ms", "latency", "time", "p50", "p95")
+RATIO_KEYS = ("speedup", "ratio", "hit_rate", "fill")
+
+
+def metric_direction(key: str) -> int:
+    """+1 higher-is-better, -1 lower-is-better, 0 untracked."""
+    lowered = key.lower()
+    if any(tag in lowered for tag in HIGHER_IS_BETTER):
+        return +1
+    if any(tag in lowered for tag in LOWER_IS_BETTER):
+        return -1
+    return 0
+
+
+def collect_metrics(payload, prefix: str = "", ratios_only: bool = False) -> dict[str, float]:
+    """Flatten a report's ``data`` into {path: value} for tracked metrics.
+
+    List elements are keyed by a stable identity field when present
+    (``workload``/``buckets``/``name``/``model``) so rows still line up when
+    a benchmark gains or reorders rows.
+    """
+    metrics: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (dict, list)):
+                metrics.update(collect_metrics(value, path, ratios_only))
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                if metric_direction(key) == 0:
+                    continue
+                if ratios_only and not any(tag in key.lower() for tag in RATIO_KEYS):
+                    continue
+                metrics[path] = float(value)
+    elif isinstance(payload, list):
+        for i, item in enumerate(payload):
+            label = str(i)
+            if isinstance(item, dict):
+                for id_key in ("workload", "buckets", "name", "model", "label", "layer"):
+                    if isinstance(item.get(id_key), str):
+                        label = item[id_key]
+                        break
+            metrics.update(collect_metrics(item, f"{prefix}[{label}]", ratios_only))
+    return metrics
+
+
+def compare(
+    current: dict[str, float],
+    baseline: dict[str, float],
+    threshold: float,
+    noise_floor: float = 0.0,
+) -> list[dict]:
+    """Regressions: tracked metrics that moved >threshold in the bad direction.
+
+    ``noise_floor`` (when > 0) exempts *unbounded* ratio metrics (speedups,
+    throughput ratios) whose baseline sits below it: a ratio near 1.0 is
+    dominated by measurement noise on sub-millisecond rows, so a 20%
+    relative gate on it only flaps.  Bounded, deterministic rates
+    (``hit_rate``, ``fill``) are always gated.
+    """
+    regressions = []
+    for path, base_value in baseline.items():
+        if path not in current or base_value == 0:
+            continue
+        key = path.rsplit(".", 1)[-1].lower()
+        direction = metric_direction(key)
+        if direction == 0:
+            continue
+        if (
+            noise_floor
+            and any(tag in key for tag in ("speedup", "ratio"))
+            and abs(base_value) < noise_floor
+        ):
+            continue
+        change = (current[path] - base_value) / abs(base_value)
+        if direction * change < -threshold:
+            regressions.append({
+                "metric": path,
+                "baseline": base_value,
+                "current": current[path],
+                "change": change,
+            })
+    return regressions
+
+
+def _load_json(text: str) -> dict | None:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return None
+
+
+def baseline_from_git(ref: str, name: str) -> dict | None:
+    """The committed report at ``ref``, or None if absent there."""
+    rel = (RESULTS_DIR / name).relative_to(REPO_ROOT).as_posix()
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{rel}"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return _load_json(proc.stdout)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--baseline-ref", default="HEAD^",
+                        help="git ref holding the baseline results (default HEAD^)")
+    parser.add_argument("--baseline-dir", type=Path, default=None,
+                        help="compare against a directory instead of a git ref")
+    parser.add_argument("--results-dir", type=Path, default=RESULTS_DIR)
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative regression that fails the check (default 0.20)")
+    parser.add_argument("--ratios-only", action="store_true",
+                        help="only compare dimensionless metrics (machine-robust)")
+    parser.add_argument("--noise-floor", type=float, default=0.0,
+                        help="exempt speedup/ratio metrics whose baseline is "
+                             "below this value (near-1.0 ratios are noise-bound)")
+    args = parser.parse_args(argv)
+
+    reports = sorted(args.results_dir.glob("*.json"))
+    if not reports:
+        print(f"no results under {args.results_dir}; nothing to compare")
+        return 0
+
+    all_regressions: list[dict] = []
+    compared = skipped = 0
+    for report in reports:
+        current_payload = _load_json(report.read_text())
+        if current_payload is None:
+            print(f"  {report.name}: unreadable current report, skipped")
+            skipped += 1
+            continue
+        if args.baseline_dir is not None:
+            base_path = args.baseline_dir / report.name
+            baseline_payload = (
+                _load_json(base_path.read_text()) if base_path.exists() else None
+            )
+        else:
+            baseline_payload = baseline_from_git(args.baseline_ref, report.name)
+        if baseline_payload is None:
+            print(f"  {report.name}: no baseline (new benchmark?), skipped")
+            skipped += 1
+            continue
+        current = collect_metrics(current_payload.get("data"), ratios_only=args.ratios_only)
+        baseline = collect_metrics(baseline_payload.get("data"), ratios_only=args.ratios_only)
+        regressions = compare(current, baseline, args.threshold, args.noise_floor)
+        print(f"  {report.name}: {len(current)} tracked metrics, "
+              f"{len(regressions)} regression(s)")
+        for r in regressions:
+            r["report"] = report.name
+        all_regressions.extend(regressions)
+        compared += 1
+
+    print(f"\ncompared {compared} report(s), skipped {skipped}, "
+          f"threshold {args.threshold:.0%}"
+          + (" (ratios only)" if args.ratios_only else ""))
+    if all_regressions:
+        print("\nPERF REGRESSIONS:")
+        for r in sorted(all_regressions, key=lambda r: r["change"]):
+            print(f"  {r['report']} :: {r['metric']}: "
+                  f"{r['baseline']:.4g} -> {r['current']:.4g} "
+                  f"({r['change']:+.1%})")
+        return 1
+    print("no perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from bench_ablation_cyclic_index import report_ablation_cyclic
 from bench_ablation_plan_cache import report_ablation_plan_cache
 from bench_ablation_vectorization import report_ablation_vectorization
 from bench_ablation_shift_scc import report_ablation_shift
+from bench_serving_batching import report_serving_batching
 
 REPORTS = [
     ("Table I", report_table1),
@@ -51,6 +52,7 @@ REPORTS = [
     ("Ablation: plan cache", report_ablation_plan_cache),
     ("Ablation: vectorization", report_ablation_vectorization),
     ("Ablation: shift+scc", report_ablation_shift),
+    ("Serving: bucketed batching", report_serving_batching),
 ]
 
 

@@ -39,7 +39,17 @@ Execution-plan cache (``repro.backend.workload`` / ``repro.backend.plan``)
     Repeated-shape execution (every training step after the first) runs
     entirely on cache hits; ``benchmarks/bench_ablation_plan_cache.py``
     quantifies the win.  Use :func:`plan_cache_stats` to observe hit rates
-    and :func:`clear_plan_cache` to model cold execution.
+    and :func:`clear_plan_cache` to model cold execution.  The cache is
+    thread-safe and single-flight: concurrent misses on one workload run
+    the builder exactly once.
+
+Model plans (``repro.backend.model_plan``)
+    :class:`ModelPlan` lifts planning to whole models: the ordered layer
+    workloads are harvested from a probe forward pass, every layer plan is
+    pre-built at construction, and batch-staging workspaces are
+    pre-allocated — the first training step or serving request runs 100%
+    warm.  ``build_model(..., plan_input_shape=...)`` attaches one; the
+    trainer and the :mod:`repro.serve` front-end consume them.
 
 Typical use::
 
@@ -65,6 +75,7 @@ from repro.backend.workload import (
     clear_plan_cache,
     plan_cache_stats,
 )
+from repro.backend.model_plan import ModelPlan, PlannedLayer, layer_workload
 from repro.backend.plan import (
     Conv2dPlan,
     Pool2dPlan,
@@ -94,6 +105,9 @@ __all__ = [
     "Workload",
     "clear_plan_cache",
     "plan_cache_stats",
+    "ModelPlan",
+    "PlannedLayer",
+    "layer_workload",
     "Conv2dPlan",
     "Pool2dPlan",
     "SCCPlan",

@@ -19,6 +19,23 @@ from typing import Any, Callable
 import numpy as np
 
 
+def _canonical(value: Any) -> Any:
+    """Recursively convert a param value to a hashable canonical form.
+
+    Lists, tuples and ndarrays all become (nested) tuples, and numpy scalars
+    become Python scalars, so ``padding=[1, 1]``, ``padding=(1, 1)`` and
+    ``padding=np.array([1, 1])`` key the same plan instead of raising
+    ``TypeError: unhashable type`` at cache-lookup time.
+    """
+    if isinstance(value, np.ndarray):
+        return _canonical(value.tolist())
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
 @dataclass(frozen=True)
 class Workload:
     """Hashable descriptor of one kernel-invocation shape-class."""
@@ -40,12 +57,12 @@ class Workload:
     ) -> "Workload":
         return cls(
             op=op,
-            in_shape=tuple(in_shape),
-            weight_shape=tuple(weight_shape),
+            in_shape=_canonical(tuple(in_shape)),
+            weight_shape=_canonical(tuple(weight_shape)),
             # Canonical name so "float32", np.float32 and np.dtype("float32")
             # all key the same plan.
             dtype=np.dtype(dtype).name,
-            params=tuple(sorted(params.items())),
+            params=tuple(sorted((k, _canonical(v)) for k, v in params.items())),
         )
 
     def param(self, name: str, default: Any = None) -> Any:
@@ -62,6 +79,14 @@ class PlanCache:
     :meth:`get_or_build`; a builder that raises caches nothing, so invalid
     workloads fail identically on every call.  Hit/miss counters make the
     cache's effect observable (``bench_ablation_plan_cache`` reports them).
+
+    Lookups are **single-flight**: when several threads miss the same
+    workload concurrently, exactly one runs the (possibly slow) builder
+    outside the lock while the others wait and are then served the finished
+    plan.  ``misses`` therefore counts true builder invocations — a waiter
+    that receives an in-flight build counts as a hit, never as a second
+    build — so ``stats()["misses"] == stats()["builds"]`` always holds and
+    hit rates stay meaningful under a multi-threaded serving front-end.
     """
 
     def __init__(self, maxsize: int = 1024) -> None:
@@ -70,43 +95,76 @@ class PlanCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.builds = 0
         self._plans: OrderedDict[Workload, Any] = OrderedDict()
         self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._building: set[Workload] = set()
+        self._epoch = 0  # bumped by clear(): in-flight builds must not insert
 
     def get_or_build(self, workload: Workload, builder: Callable[[], Any]) -> Any:
-        with self._lock:
-            if workload in self._plans:
-                self.hits += 1
+        with self._cond:
+            while True:
+                if workload in self._plans:
+                    self.hits += 1
+                    self._plans.move_to_end(workload)
+                    return self._plans[workload]
+                if workload not in self._building:
+                    # We own this build; everyone else arriving now waits.
+                    self._building.add(workload)
+                    self.misses += 1
+                    self.builds += 1
+                    epoch = self._epoch
+                    break
+                # Another thread is building this workload: wait for it to
+                # finish (or fail, in which case we take over and fail the
+                # same way on our own builder call).
+                self._cond.wait()
+        try:
+            plan = builder()  # outside the lock: builders may be slow
+        except BaseException:
+            with self._cond:
+                self._building.discard(workload)
+                self._cond.notify_all()
+            raise
+        with self._cond:
+            self._building.discard(workload)
+            if epoch == self._epoch:
+                # A clear() racing this build invalidates it: the caller
+                # still gets a working plan, but a cleared ("cold") cache
+                # must not silently re-acquire pre-clear entries.
+                self._plans[workload] = plan
                 self._plans.move_to_end(workload)
-                return self._plans[workload]
-            self.misses += 1
-        plan = builder()  # outside the lock: builders may be slow
-        with self._lock:
-            self._plans[workload] = plan
-            self._plans.move_to_end(workload)
-            while len(self._plans) > self.maxsize:
-                self._plans.popitem(last=False)
+                while len(self._plans) > self.maxsize:
+                    self._plans.popitem(last=False)
+            self._cond.notify_all()
         return plan
 
     def clear(self) -> None:
-        with self._lock:
+        with self._cond:
+            self._epoch += 1
             self._plans.clear()
             self.hits = 0
             self.misses = 0
+            self.builds = 0
 
     def stats(self) -> dict[str, int]:
-        with self._lock:
+        with self._cond:
             return {
                 "size": len(self._plans),
                 "hits": self.hits,
                 "misses": self.misses,
+                "builds": self.builds,
+                "in_flight": len(self._building),
             }
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, workload: Workload) -> bool:
-        return workload in self._plans
+        with self._lock:
+            return workload in self._plans
 
 
 #: The process-wide plan cache every backend kernel shares.

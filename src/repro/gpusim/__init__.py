@@ -29,7 +29,12 @@ from repro.gpusim.workloads import (
     conv_layer_kernels,
     model_step_kernels,
 )
-from repro.gpusim.timeline import StepTime, training_step_time, inference_time
+from repro.gpusim.timeline import (
+    StepTime,
+    inference_time,
+    plan_build_time,
+    training_step_time,
+)
 from repro.gpusim.multigpu import ring_allreduce_time, data_parallel_step_time
 
 __all__ = [
@@ -52,6 +57,7 @@ __all__ = [
     "StepTime",
     "training_step_time",
     "inference_time",
+    "plan_build_time",
     "ring_allreduce_time",
     "data_parallel_step_time",
 ]

@@ -1,8 +1,17 @@
-"""Training-step and inference timing for whole networks."""
+"""Training-step and inference timing for whole networks.
+
+``cold_plans=True`` models the first step of a run: every unique layer
+workload additionally pays the host-side plan build
+(``DeviceSpec.plan_build_overhead``, calibrated against the measured
+cold-vs-warm deltas of ``bench_ablation_plan_cache``).  Steady-state steps
+(the default) run entirely on a warm plan cache, mirroring what
+:class:`repro.backend.ModelPlan` guarantees for the real kernels.
+"""
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.backend.model_plan import layer_workload
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.kernel import SimulationResult, simulate_kernels
 from repro.gpusim.workloads import LayerShape, model_step_kernels
@@ -17,16 +26,35 @@ class StepTime:
     atomic: float
     num_launches: int
     result: SimulationResult
+    plan_build: float = 0.0      # host-side plan construction (cold step only)
 
     @classmethod
-    def from_result(cls, result: SimulationResult) -> "StepTime":
+    def from_result(cls, result: SimulationResult, plan_build: float = 0.0) -> "StepTime":
         return cls(
-            total=result.total_time,
+            total=result.total_time + plan_build,
             launch=result.launch_time,
             atomic=result.atomic_time,
             num_launches=result.num_launches,
             result=result,
+            plan_build=plan_build,
         )
+
+
+def plan_build_time(shapes: list[LayerShape], batch: int, device: DeviceSpec) -> float:
+    """Host time a cold first step spends building execution plans.
+
+    One charge per *unique* conv/SCC layer workload, not per layer
+    occurrence: repeated shape-classes (every block of a stage, all
+    strategy instances of one SCC config) share a single build, exactly
+    like the real cache.  Pooling-geometry and standalone einsum-path
+    builds are not modelled separately — conv plans embed their three
+    contraction-path searches (the expensive part of a build, which the
+    ``plan_build_overhead`` calibration reflects), while pool plans are
+    plain shape algebra.
+    """
+    unique = {layer_workload(shape, batch) for shape in shapes}
+    unique.discard(None)
+    return len(unique) * device.plan_build_overhead
 
 
 def training_step_time(
@@ -35,13 +63,15 @@ def training_step_time(
     device: DeviceSpec,
     scc_strategy: str = "dsxplore",
     scc_backward: str = "input_centric",
+    cold_plans: bool = False,
 ) -> StepTime:
     """Simulated fwd+bwd+update time for one mini-batch."""
     kernels = model_step_kernels(
         shapes, batch, scc_strategy=scc_strategy, scc_backward=scc_backward,
         include_backward=True,
     )
-    return StepTime.from_result(simulate_kernels(kernels, device))
+    build = plan_build_time(shapes, batch, device) if cold_plans else 0.0
+    return StepTime.from_result(simulate_kernels(kernels, device), plan_build=build)
 
 
 def inference_time(
@@ -49,12 +79,14 @@ def inference_time(
     batch: int,
     device: DeviceSpec,
     scc_strategy: str = "dsxplore",
+    cold_plans: bool = False,
 ) -> StepTime:
     """Simulated forward-only latency for one batch."""
     kernels = model_step_kernels(
         shapes, batch, scc_strategy=scc_strategy, include_backward=False
     )
-    return StepTime.from_result(simulate_kernels(kernels, device))
+    build = plan_build_time(shapes, batch, device) if cold_plans else 0.0
+    return StepTime.from_result(simulate_kernels(kernels, device), plan_build=build)
 
 
 def backward_only_time(

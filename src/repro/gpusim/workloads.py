@@ -27,12 +27,11 @@ import numpy as np
 
 from repro import nn
 from repro.backend import scc_conflict_fraction
+from repro.backend.model_plan import DTYPE_BYTES
 from repro.core.channel_map import cyclic_distance
 from repro.core.scc import SlidingChannelConv2d
 from repro.gpusim.kernel import KernelLaunch
 from repro.tensor import Tensor, no_grad
-
-DTYPE_BYTES = 4
 
 # Calibrated efficiency knobs: cuBLAS/cuDNN GEMMs run close to peak; the
 # hand-written fused SCC kernel is good but not a tensor-core GEMM; pure
@@ -60,6 +59,8 @@ class LayerShape:
     cout: int = 0
     kernel: int = 1
     groups: int = 1
+    stride: int = 1
+    padding: int = 0
     hin: int = 1
     win: int = 1
     hout: int = 1
@@ -111,6 +112,8 @@ def _classify(module: nn.Module, in_shape: tuple, out_shape: tuple, name: str) -
             cout=module.out_channels,
             kernel=module.kernel_size,
             groups=module.groups,
+            stride=module.stride,
+            padding=module.padding,
             hin=in_shape[2],
             win=in_shape[3],
             hout=out_shape[2],
@@ -144,8 +147,22 @@ def _classify(module: nn.Module, in_shape: tuple, out_shape: tuple, name: str) -
     return None
 
 
-def extract_layer_shapes(model: nn.Module, input_shape: tuple[int, int, int]) -> list[LayerShape]:
-    """Harvest layer geometries via one hooked batch-1 forward pass."""
+def extract_layer_shapes(
+    model: nn.Module,
+    input_shape: tuple[int, int, int],
+    batch_size: int = 1,
+) -> list[LayerShape]:
+    """Harvest layer geometries via one hooked forward pass.
+
+    ``batch_size`` sets the dummy batch the probe forward runs at, so the
+    harvested geometries (and any :class:`~repro.backend.Workload` built from
+    them) match the training/serving batch shapes rather than a hardcoded
+    batch-1 pass.  Per-layer channel/spatial geometry is batch-invariant;
+    the batch matters to whoever turns these shapes into concrete workloads
+    (:class:`repro.backend.ModelPlan`) or kernel launches.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     shapes: list[LayerShape] = []
     handles = []
     for name, module in model.named_modules():
@@ -164,7 +181,7 @@ def extract_layer_shapes(model: nn.Module, input_shape: tuple[int, int, int]) ->
     model.eval()
     try:
         with no_grad():
-            model(Tensor(np.zeros((1, *input_shape), dtype=np.float32)))
+            model(Tensor(np.zeros((batch_size, *input_shape), dtype=np.float32)))
     finally:
         for h in handles:
             h.remove()

@@ -43,6 +43,9 @@ def build_model(
     impl: str = "dsxplore",
     backend: str = "default",
     rng: np.random.Generator | None = None,
+    plan_input_shape: tuple[int, int, int] | None = None,
+    plan_batch_size: int = 1,
+    plan_backward: bool = True,
 ) -> nn.Module:
     """Build a model by paper name.
 
@@ -50,6 +53,13 @@ def build_model(
     is the factorized (DSXplore-converted) network.  VGG has no ImageNet-stem
     variant here (the paper evaluates it on CIFAR), so ``imagenet_stem`` is
     ignored for VGG.
+
+    ``plan_input_shape`` turns on plan pre-building: the returned model
+    carries a :class:`repro.backend.ModelPlan` (as ``model.model_plan``)
+    built for ``plan_batch_size`` samples of that ``(C, H, W)`` geometry,
+    so every layer's execution plan is cache-resident before the first
+    training step (``plan_backward=True``) or inference request
+    (``plan_backward=False``).
     """
     try:
         builder = MODEL_BUILDERS[name]
@@ -70,4 +80,14 @@ def build_model(
     )
     if name.startswith(("resnet", "mobilenet")):
         kwargs["imagenet_stem"] = imagenet_stem
-    return builder(**kwargs)
+    model = builder(**kwargs)
+    if plan_input_shape is not None:
+        from repro.backend import ModelPlan
+
+        model.model_plan = ModelPlan(
+            model,
+            plan_input_shape,
+            batch_size=plan_batch_size,
+            include_backward=plan_backward,
+        )
+    return model

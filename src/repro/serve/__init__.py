@@ -1,0 +1,30 @@
+"""Inference serving front-end: shape-bucketed request batching.
+
+The ROADMAP's heavy-traffic north star meets the plan cache here: incoming
+single-image requests are coalesced into shape-bucketed batches so every
+bucket executes on a warm :class:`repro.backend.ModelPlan` entry, and the
+plan-cache hit rate becomes a first-class serving metric next to p50/p95
+latency and throughput.
+
+- :class:`Server` — submit/flush front-end with configurable bucket sizes
+  and a max-latency flush deadline, plus an optional background worker
+  thread (the concurrent path the single-flight plan cache exists for);
+- :class:`ServerConfig` — bucket/flush knobs;
+- :class:`RequestResult` / :class:`ServingMetrics` — per-request outputs and
+  aggregate serving statistics.
+"""
+from repro.serve.server import (
+    Request,
+    RequestResult,
+    Server,
+    ServerConfig,
+    ServingMetrics,
+)
+
+__all__ = [
+    "Request",
+    "RequestResult",
+    "Server",
+    "ServerConfig",
+    "ServingMetrics",
+]

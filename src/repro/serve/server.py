@@ -1,0 +1,403 @@
+"""The shape-bucketed batching server.
+
+Requests are single images.  The server groups pending requests by their
+``(C, H, W)`` shape, and when a shape's queue reaches the largest configured
+bucket size — or its oldest request has waited ``max_latency`` — it runs the
+whole group as one batch, padded up to the smallest configured bucket size
+that fits.  Because every (shape, bucket) pair owns a pre-built inference
+:class:`~repro.backend.ModelPlan`, steady-state serving never builds a plan:
+each batch runs entirely on plan-cache hits, which is exactly what the
+single-flight cache guarantees to stay true under the optional background
+worker thread.
+
+Two driving modes:
+
+- **synchronous** — call :meth:`Server.submit` and :meth:`Server.poll` /
+  :meth:`Server.flush` yourself (what the benchmarks and tests do; fully
+  deterministic with an injected clock);
+- **threaded** — :meth:`Server.start` spawns a worker that flushes due
+  buckets in the background while any number of client threads submit;
+  :meth:`Server.wait_result` blocks until a request completes.
+"""
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.backend import ModelPlan, plan_cache_stats
+from repro.tensor import Tensor, no_grad
+
+
+@dataclass
+class Request:
+    """One in-flight single-image inference request."""
+
+    id: int
+    image: np.ndarray            # (C, H, W)
+    submitted_at: float
+
+
+@dataclass
+class RequestResult:
+    """Completed request: model output row + serving bookkeeping."""
+
+    id: int
+    output: np.ndarray           # (num_classes,)
+    latency: float               # submit -> batch completion, seconds
+    batch_requests: int          # real requests in the batch it rode in
+    bucket_size: int             # planned (padded) batch size
+
+
+@dataclass
+class ServingMetrics:
+    """Aggregate serving statistics over the measurement window."""
+
+    completed: int
+    batches: int
+    throughput: float            # completed requests / s of serving time
+    latency_p50: float
+    latency_p95: float
+    latency_mean: float
+    plan_cache_hit_rate: float   # hits / (hits + misses) during serving
+    plan_builds: int             # plan-cache builds during serving (0 = warm)
+    mean_batch_occupancy: float  # real requests per executed batch
+    mean_bucket_fill: float      # real requests / padded bucket slots
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+@dataclass
+class ServerConfig:
+    """Bucket/flush knobs of the serving front-end."""
+
+    bucket_sizes: tuple[int, ...] = (1, 2, 4, 8)
+    max_latency: float = 0.01    # seconds a request may wait for batch-mates
+    worker_poll_interval: float | None = None  # thread mode; default latency/4
+    # Retention bounds so a long-running server's memory stays flat: unread
+    # results are evicted FIFO past result_capacity, and latency percentiles
+    # are computed over the most recent metrics_window completions.
+    result_capacity: int = 65536
+    metrics_window: int = 65536
+
+    def __post_init__(self) -> None:
+        if not self.bucket_sizes or any(b < 1 for b in self.bucket_sizes):
+            raise ValueError(f"bucket_sizes must be positive, got {self.bucket_sizes}")
+        self.bucket_sizes = tuple(sorted(set(self.bucket_sizes)))
+        if self.max_latency <= 0:
+            raise ValueError(f"max_latency must be positive, got {self.max_latency}")
+        if self.result_capacity < 1 or self.metrics_window < 1:
+            raise ValueError("result_capacity and metrics_window must be >= 1")
+
+    @property
+    def max_bucket(self) -> int:
+        return self.bucket_sizes[-1]
+
+    def bucket_for(self, n: int) -> int:
+        """Smallest configured bucket that fits ``n`` requests."""
+        for size in self.bucket_sizes:
+            if n <= size:
+                return size
+        return self.max_bucket
+
+
+class Server:
+    """Shape-bucketed batching inference server over one model.
+
+    Parameters
+    ----------
+    model:
+        the (eval-mode) model every request runs through.
+    input_shapes:
+        per-sample ``(C, H, W)`` shapes to pre-build plans for.  Requests of
+        other shapes still work — their plans are built on first sight and
+        show up in the metrics as ``plan_builds`` (the cold path the
+        pre-building exists to avoid).
+    config:
+        bucket sizes and flush deadline.
+    clock:
+        time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        model,
+        input_shapes: tuple | list = ((3, 32, 32),),
+        config: ServerConfig | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.model = model.eval()
+        self.config = config or ServerConfig()
+        self.clock = clock
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._exec_lock = threading.Lock()
+        self._pending: dict[tuple, list[Request]] = {}
+        self._results: OrderedDict[int, RequestResult] = OrderedDict()
+        self._waiting: set[int] = set()  # ids with a blocked wait_result()
+        self._plans: dict[tuple, ModelPlan] = {}
+        self._worker: threading.Thread | None = None
+        self._stopping = False
+
+        for shape in input_shapes:
+            for bucket in self.config.bucket_sizes:
+                self._plans[(tuple(shape), bucket)] = ModelPlan(
+                    self.model, tuple(shape), batch_size=bucket,
+                    include_backward=False,
+                )
+        self.reset_metrics()
+
+    # -- metrics --------------------------------------------------------------
+
+    def reset_metrics(self) -> None:
+        """Start a fresh measurement window (e.g. after warmup traffic)."""
+        with self._lock:
+            self._completed = 0
+            self._latencies: deque[float] = deque(maxlen=self.config.metrics_window)
+            self._batch_records: deque[tuple[int, int]] = deque(  # (requests, bucket)
+                maxlen=self.config.metrics_window
+            )
+            self._window_started: float | None = None
+            self._window_finished: float | None = None
+            base = plan_cache_stats()
+            self._cache_base = (base["hits"], base["misses"], base["builds"])
+
+    def metrics(self) -> ServingMetrics:
+        """Aggregate statistics since the last :meth:`reset_metrics`.
+
+        ``completed``/``throughput`` count the whole window; latency
+        percentiles and batch occupancy are over the most recent
+        ``metrics_window`` completions.  ``plan_cache_hit_rate`` and
+        ``plan_builds`` are deltas of the *process-global* plan cache, so
+        they attribute cache traffic correctly only while this server is
+        the cache's dominant client (a concurrent trainer, second server,
+        or ``clear_plan_cache()`` call lands in the same window).
+        """
+        with self._lock:
+            lat = sorted(self._latencies)
+            completed = self._completed
+            cache = plan_cache_stats()
+            hits = cache["hits"] - self._cache_base[0]
+            misses = cache["misses"] - self._cache_base[1]
+            builds = cache["builds"] - self._cache_base[2]
+            elapsed = 0.0
+            if self._window_started is not None and self._window_finished is not None:
+                elapsed = self._window_finished - self._window_started
+            real = sum(n for n, _ in self._batch_records)
+            padded = sum(b for _, b in self._batch_records)
+            return ServingMetrics(
+                completed=completed,
+                batches=len(self._batch_records),
+                throughput=completed / elapsed if elapsed > 0 else 0.0,
+                latency_p50=_percentile(lat, 0.50),
+                latency_p95=_percentile(lat, 0.95),
+                latency_mean=sum(lat) / len(lat) if lat else 0.0,
+                plan_cache_hit_rate=hits / (hits + misses) if hits + misses else 1.0,
+                plan_builds=builds,
+                mean_batch_occupancy=real / len(self._batch_records)
+                if self._batch_records else 0.0,
+                mean_bucket_fill=real / padded if padded else 0.0,
+            )
+
+    # -- request lifecycle ----------------------------------------------------
+
+    def submit(self, image: np.ndarray) -> int:
+        """Enqueue one ``(C, H, W)`` image; returns the request id.
+
+        A bucket that reaches the largest configured size is flushed
+        immediately (inline in synchronous mode, by the worker in threaded
+        mode).
+        """
+        image = np.asarray(image, dtype=np.float32)
+        if image.ndim != 3:
+            raise ValueError(f"expected one (C, H, W) image, got shape {image.shape}")
+        shape = image.shape
+        now = self.clock()
+        request = Request(id=next(self._ids), image=image, submitted_at=now)
+        run_shape = None
+        with self._cond:
+            if self._window_started is None:
+                self._window_started = now
+            queue = self._pending.setdefault(shape, [])
+            queue.append(request)
+            if len(queue) >= self.config.max_bucket:
+                if self._worker is None:
+                    run_shape = shape
+                else:
+                    self._cond.notify_all()
+        if run_shape is not None:
+            self._flush_shape(run_shape)
+        return request.id
+
+    def poll(self, now: float | None = None) -> int:
+        """Flush every bucket whose oldest request has exceeded the deadline
+        (and any full bucket); returns the number of batches executed."""
+        now = self.clock() if now is None else now
+        due = []
+        with self._lock:
+            for shape, queue in self._pending.items():
+                if not queue:
+                    continue
+                if (
+                    len(queue) >= self.config.max_bucket
+                    or now - queue[0].submitted_at >= self.config.max_latency
+                ):
+                    due.append(shape)
+        # Drain: a due queue's overdue head batches with whatever is behind
+        # it anyway, so the sub-bucket remainder must not wait another cycle.
+        return sum(self._flush_shape(shape, drain=True) for shape in due)
+
+    def flush(self) -> int:
+        """Run every pending request regardless of deadlines."""
+        with self._lock:
+            due = [shape for shape, queue in self._pending.items() if queue]
+        return sum(self._flush_shape(shape, drain=True) for shape in due)
+
+    def result(self, request_id: int) -> RequestResult | None:
+        """The completed result for a request id, or ``None`` if it is still
+        pending (or was evicted unread past ``result_capacity``)."""
+        with self._lock:
+            return self._results.get(request_id)
+
+    def wait_result(self, request_id: int, timeout: float = 10.0) -> RequestResult:
+        """Block until a request completes (threaded mode).
+
+        Results with an active waiter are exempt from ``result_capacity``
+        eviction.  Register the wait before or soon after submitting: a
+        result that went unread past ``result_capacity`` completions
+        *before* the waiter arrived has been evicted and times out here.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            self._waiting.add(request_id)
+            try:
+                while request_id not in self._results:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"request {request_id} not completed in {timeout}s"
+                        )
+                    self._cond.wait(remaining)
+                return self._results[request_id]
+            finally:
+                self._waiting.discard(request_id)
+
+    # -- batch execution ------------------------------------------------------
+
+    def _plan_for(self, shape: tuple, bucket: int) -> ModelPlan:
+        key = (tuple(shape), bucket)
+        plan = self._plans.get(key)
+        if plan is None:
+            # Cold path: unseen shape/bucket.  Visible in metrics via the
+            # plan-cache build counter.  The build runs probe forwards (and
+            # registers hooks) on the shared model, so it must not overlap
+            # an in-flight batch: take the execution lock.
+            with self._exec_lock:
+                with self._lock:
+                    plan = self._plans.get(key)
+                if plan is None:
+                    plan = ModelPlan(self.model, tuple(shape), batch_size=bucket,
+                                     include_backward=False)
+                    with self._lock:
+                        self._plans.setdefault(key, plan)
+                        plan = self._plans[key]
+        return plan
+
+    def _flush_shape(self, shape: tuple, drain: bool = False) -> int:
+        """Run one shape's queue as max-size batches; returns batches run.
+
+        ``drain=False`` (the full-bucket fast path off ``submit``) stops once
+        no full bucket remains — sub-bucket remainders wait for their
+        deadline.  ``drain=True`` (``poll``/``flush``) empties the queue,
+        remainder included.
+        """
+        batches = 0
+        while True:
+            with self._lock:
+                queue = self._pending.get(shape)
+                if not queue or (not drain and len(queue) < self.config.max_bucket):
+                    return batches
+                take = min(len(queue), self.config.max_bucket)
+                requests = queue[:take]
+                del queue[:take]
+            self._run_batch(shape, requests)
+            batches += 1
+
+    def _run_batch(self, shape: tuple, requests: list[Request]) -> None:
+        n = len(requests)
+        bucket = self.config.bucket_for(n)
+        plan = self._plan_for(shape, bucket)
+        with self._exec_lock:
+            batch = plan.stage_batch(np.stack([r.image for r in requests]))
+            with no_grad():
+                out = self.model(Tensor(batch)).data
+            done = self.clock()
+        with self._cond:
+            for i, request in enumerate(requests):
+                self._results[request.id] = RequestResult(
+                    id=request.id,
+                    output=out[i].copy(),
+                    latency=done - request.submitted_at,
+                    batch_requests=n,
+                    bucket_size=bucket,
+                )
+                self._latencies.append(done - request.submitted_at)
+            self._completed += n
+            # Bound unread-result retention: a long-running server must not
+            # accumulate output rows forever if clients never fetch them.
+            # Results someone is blocked in wait_result() on are kept.
+            if len(self._results) > self.config.result_capacity:
+                for rid in list(self._results):
+                    if len(self._results) <= self.config.result_capacity:
+                        break
+                    if rid not in self._waiting:
+                        del self._results[rid]
+            self._batch_records.append((n, bucket))
+            self._window_finished = done
+            self._cond.notify_all()
+
+    # -- threaded mode --------------------------------------------------------
+
+    def start(self) -> "Server":
+        """Spawn the background worker that flushes due buckets."""
+        if self._worker is not None:
+            raise RuntimeError("server already started")
+        self._stopping = False
+        self._worker = threading.Thread(target=self._worker_loop, daemon=True)
+        self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain all pending requests and join the worker."""
+        if self._worker is None:
+            return
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        self._worker.join()
+        self._worker = None
+        self.flush()
+
+    def _worker_loop(self) -> None:
+        interval = self.config.worker_poll_interval or self.config.max_latency / 4
+        while True:
+            with self._cond:
+                if self._stopping:
+                    return
+                self._cond.wait(interval)
+            self.poll()

@@ -1,0 +1,182 @@
+"""Model-level planning: batch-aware shape harvest + whole-model pre-build."""
+import numpy as np
+import pytest
+
+from repro.backend import ModelPlan, Workload, clear_plan_cache, layer_workload, plan_cache_stats
+from repro.gpusim import extract_layer_shapes, plan_build_time, tesla_v100, training_step_time
+from repro.models import build_model
+from repro.tensor import Tensor, no_grad
+from repro.train import Trainer, TrainConfig
+from repro.utils import seed_all
+
+INPUT = (3, 16, 16)
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_all(21)
+
+
+def _mini_model(**kwargs):
+    return build_model("mobilenet", scheme="scc", width_mult=0.25, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Batch-parameterized shape extraction (regression: hardcoded batch-1 probe)
+# ---------------------------------------------------------------------------
+
+def test_extract_layer_shapes_accepts_batch_size():
+    model = _mini_model()
+    s1 = extract_layer_shapes(model, INPUT, batch_size=1)
+    s4 = extract_layer_shapes(model, INPUT, batch_size=4)
+    # Per-layer geometry is batch-invariant; the probe just must not crash
+    # or harvest a different layer list at serving batch sizes.
+    assert [(s.name, s.kind, s.cin, s.cout) for s in s1] == \
+           [(s.name, s.kind, s.cin, s.cout) for s in s4]
+    with pytest.raises(ValueError, match="batch_size"):
+        extract_layer_shapes(model, INPUT, batch_size=0)
+
+
+def test_layer_workload_is_batch_parameterized():
+    model = _mini_model()
+    shapes = extract_layer_shapes(model, INPUT)
+    conv = next(s for s in shapes if s.kind in ("conv", "dw", "pw", "gpw", "gc"))
+    wl1, wl8 = layer_workload(conv, 1), layer_workload(conv, 8)
+    assert wl1 != wl8
+    assert wl1.in_shape[0] == 1 and wl8.in_shape[0] == 8
+    # Harvested conv workloads carry the module's true stride/padding.
+    assert wl8.param("stride") == conv.stride
+    assert wl8.param("padding") == conv.padding
+
+
+# ---------------------------------------------------------------------------
+# ModelPlan: pre-built plans make step 1 fully warm
+# ---------------------------------------------------------------------------
+
+def test_model_plan_makes_training_step_fully_warm():
+    model = _mini_model()
+    clear_plan_cache()
+    plan = ModelPlan(model, INPUT, batch_size=4, include_backward=True)
+    assert plan.prebuilt_plans > 0
+    assert plan.planned_layers and len(plan.layers) >= len(plan.planned_layers)
+
+    base = plan_cache_stats()
+    x = Tensor(np.random.default_rng(0).standard_normal((4, *INPUT)).astype(np.float32))
+    out = model(x)
+    out.sum().backward()
+    model.zero_grad()
+    after = plan_cache_stats()
+    assert after["misses"] == base["misses"], "planned step must not build plans"
+    assert after["builds"] == base["builds"]
+    assert after["hits"] > base["hits"]
+
+
+def test_model_plan_inference_only_warm_and_probe_side_effect_free():
+    model = _mini_model()
+    before = model.state_dict()
+    clear_plan_cache()
+    plan = ModelPlan(model, INPUT, batch_size=2, include_backward=False)
+    assert plan.gradient_bytes == 0 and plan.activation_bytes > 0
+
+    # Planning must leave parameters, buffers and grads untouched.
+    after = model.state_dict()
+    assert before.keys() == after.keys()
+    for key in before:
+        np.testing.assert_array_equal(before[key], after[key], err_msg=key)
+    assert all(p.grad is None or not p.grad.any() for p in model.parameters())
+
+    base = plan_cache_stats()
+    with no_grad():
+        model.eval()(Tensor(np.zeros((2, *INPUT), dtype=np.float32)))
+    assert plan_cache_stats()["builds"] == base["builds"]
+
+
+def test_model_plan_training_probe_restores_model_state():
+    model = _mini_model()
+    before = model.state_dict()
+    ModelPlan(model, INPUT, batch_size=2, include_backward=True)
+    after = model.state_dict()
+    for key in before:
+        np.testing.assert_array_equal(before[key], after[key], err_msg=key)
+
+
+def test_stage_batch_pads_and_validates():
+    model = _mini_model()
+    plan = ModelPlan(model, INPUT, batch_size=4, include_backward=False, warmup=False)
+    imgs = np.ones((2, *INPUT), dtype=np.float32)
+    staged = plan.stage_batch(imgs)
+    assert staged is plan.input_buffer and staged.shape == (4, *INPUT)
+    np.testing.assert_array_equal(staged[:2], imgs)
+    assert not staged[2:].any()
+    with pytest.raises(ValueError, match="stage"):
+        plan.stage_batch(np.ones((5, *INPUT), dtype=np.float32))
+    with pytest.raises(ValueError, match="stage"):
+        plan.stage_batch(np.ones((2, 3, 8, 8), dtype=np.float32))
+    assert plan.matches((4, *INPUT)) and not plan.matches((2, *INPUT))
+
+
+# ---------------------------------------------------------------------------
+# build_model hook + trainer integration
+# ---------------------------------------------------------------------------
+
+def test_build_model_plan_hook_attaches_model_plan():
+    model = _mini_model(plan_input_shape=INPUT, plan_batch_size=4)
+    assert isinstance(model.model_plan, ModelPlan)
+    assert model.model_plan.batch_size == 4
+    assert model.model_plan.include_backward
+
+
+def test_trainer_uses_model_plan_for_full_batches():
+    model = _mini_model(plan_input_shape=INPUT, plan_batch_size=4)
+    trainer = Trainer(model, TrainConfig(epochs=1, lr=0.01))
+    assert trainer.model_plan is model.model_plan
+
+    rng = np.random.default_rng(5)
+    base = plan_cache_stats()
+    full = rng.standard_normal((4, *INPUT)).astype(np.float32)
+    loss, _ = trainer.train_step(full, np.array([0, 1, 2, 3]))
+    assert np.isfinite(loss)
+    assert trainer.planned_steps == 1
+    assert plan_cache_stats()["builds"] == base["builds"]
+
+    # Ragged final batch falls back to the plain path.
+    ragged = rng.standard_normal((3, *INPUT)).astype(np.float32)
+    loss, _ = trainer.train_step(ragged, np.array([0, 1, 2]))
+    assert np.isfinite(loss)
+    assert trainer.planned_steps == 1
+
+
+def test_trainer_planned_and_plain_steps_agree():
+    seed_all(9)
+    planned_model = _mini_model(rng=np.random.default_rng(7),
+                                plan_input_shape=INPUT, plan_batch_size=4)
+    seed_all(9)
+    plain_model = _mini_model(rng=np.random.default_rng(7))
+    rng = np.random.default_rng(11)
+    images = rng.standard_normal((4, *INPUT)).astype(np.float32)
+    labels = np.array([0, 1, 2, 3])
+    loss_a, acc_a = Trainer(planned_model, TrainConfig(epochs=1)).train_step(images, labels)
+    loss_b, acc_b = Trainer(plain_model, TrainConfig(epochs=1)).train_step(images, labels)
+    assert loss_a == pytest.approx(loss_b, rel=1e-6) and acc_a == acc_b
+
+
+# ---------------------------------------------------------------------------
+# gpusim: cold-vs-warm plan cost
+# ---------------------------------------------------------------------------
+
+def test_simulated_cold_step_charges_unique_plan_builds():
+    model = _mini_model()
+    shapes = extract_layer_shapes(model, INPUT)
+    device = tesla_v100()
+    warm = training_step_time(shapes, 8, device)
+    cold = training_step_time(shapes, 8, device, cold_plans=True)
+    build = plan_build_time(shapes, 8, device)
+    assert warm.plan_build == 0.0
+    assert cold.plan_build == pytest.approx(build)
+    assert cold.total == pytest.approx(warm.total + build)
+    assert build > 0
+    # Unique workloads, not layer occurrences: repeated blocks share builds.
+    unique = {layer_workload(s, 8) for s in shapes} - {None}
+    occurrences = sum(1 for s in shapes if layer_workload(s, 8) is not None)
+    assert len(unique) < occurrences
+    assert build == pytest.approx(len(unique) * device.plan_build_overhead)

@@ -1,0 +1,115 @@
+"""The perf-trajectory comparator that gates CI on benchmark regressions."""
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from perf_compare import collect_metrics, compare, main, metric_direction
+
+
+def test_metric_direction_classification():
+    assert metric_direction("speedup") == +1
+    assert metric_direction("throughput_ratio") == +1
+    assert metric_direction("hit_rate") == +1
+    assert metric_direction("cold_ms") == -1
+    assert metric_direction("latency_p95") == -1
+    assert metric_direction("num_layers") == 0
+    assert metric_direction("seed") == 0
+
+
+def test_collect_metrics_flattens_and_keys_rows_by_identity():
+    data = {
+        "rows": [
+            {"workload": "scc 32->64", "cold_ms": 1.4, "speedup": 1.8, "seed": 3},
+            {"workload": "conv 8->16", "cold_ms": 0.8, "speedup": 1.5},
+        ],
+        "naive_rps": 24.0,
+    }
+    metrics = collect_metrics(data)
+    assert metrics["rows[scc 32->64].speedup"] == 1.8
+    assert metrics["rows[conv 8->16].cold_ms"] == 0.8
+    assert metrics["naive_rps"] == 24.0
+    assert not any("seed" in k for k in metrics)  # untracked keys dropped
+
+
+def test_collect_metrics_ratios_only_drops_wallclock():
+    data = {"rows": [{"workload": "w", "cold_ms": 1.0, "speedup": 2.0,
+                      "throughput_rps": 50.0}]}
+    metrics = collect_metrics(data, ratios_only=True)
+    assert list(metrics) == ["rows[w].speedup"]
+
+
+def test_compare_flags_only_true_regressions():
+    baseline = {"rows[w].speedup": 2.0, "rows[w].cold_ms": 1.0}
+    # Speedup dropped 40% -> regression; cold_ms improved -> fine.
+    current = {"rows[w].speedup": 1.2, "rows[w].cold_ms": 0.5}
+    regressions = compare(current, baseline, threshold=0.20)
+    assert len(regressions) == 1
+    assert regressions[0]["metric"] == "rows[w].speedup"
+    assert regressions[0]["change"] == pytest.approx(-0.4)
+
+    # Within threshold: no regression.
+    assert compare({"rows[w].speedup": 1.7, "rows[w].cold_ms": 1.1},
+                   baseline, threshold=0.20) == []
+    # Latency regression is caught in the bad direction.
+    worse = compare({"rows[w].speedup": 2.0, "rows[w].cold_ms": 1.5},
+                    baseline, threshold=0.20)
+    assert [r["metric"] for r in worse] == ["rows[w].cold_ms"]
+
+
+def test_compare_noise_floor_exempts_near_unity_ratios_only():
+    baseline = {"rows[w].speedup": 1.1, "rows[x].throughput_ratio": 7.0,
+                "rows[w].hit_rate": 1.0}
+    current = {"rows[w].speedup": 0.8,           # -27%, but noise-bound
+               "rows[x].throughput_ratio": 4.0,  # -43%, real regression
+               "rows[w].hit_rate": 0.7}          # bounded metric: always gated
+    regressions = compare(current, baseline, threshold=0.20, noise_floor=1.6)
+    assert sorted(r["metric"] for r in regressions) == \
+           ["rows[w].hit_rate", "rows[x].throughput_ratio"]
+    # Floor off: the noisy speedup is gated again.
+    assert len(compare(current, baseline, threshold=0.20)) == 3
+
+
+def test_compare_ignores_missing_and_new_metrics():
+    baseline = {"a.speedup": 2.0, "gone.speedup": 3.0}
+    current = {"a.speedup": 2.0, "new.speedup": 1.0}
+    assert compare(current, baseline, threshold=0.20) == []
+
+
+def _write_report(directory: Path, name: str, rows):
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {"name": name, "data": {"rows": rows}, "text": ""}
+    (directory / f"{name}.json").write_text(json.dumps(payload))
+
+
+def test_main_directory_mode_pass_and_fail(tmp_path, capsys):
+    current_dir = tmp_path / "current"
+    baseline_dir = tmp_path / "baseline"
+    _write_report(baseline_dir, "bench", [{"workload": "w", "speedup": 2.0}])
+
+    _write_report(current_dir, "bench", [{"workload": "w", "speedup": 1.9}])
+    assert main(["--baseline-dir", str(baseline_dir),
+                 "--results-dir", str(current_dir)]) == 0
+
+    _write_report(current_dir, "bench", [{"workload": "w", "speedup": 1.0}])
+    assert main(["--baseline-dir", str(baseline_dir),
+                 "--results-dir", str(current_dir)]) == 1
+    out = capsys.readouterr().out
+    assert "PERF REGRESSIONS" in out and "speedup" in out
+
+
+def test_main_skips_reports_without_baseline(tmp_path):
+    current_dir = tmp_path / "current"
+    _write_report(current_dir, "brand_new", [{"workload": "w", "speedup": 1.0}])
+    assert main(["--baseline-dir", str(tmp_path / "missing"),
+                 "--results-dir", str(current_dir)]) == 0
+
+
+def test_main_against_git_previous_commit_runs():
+    # Smoke the git-ref path against the real repo: the committed baselines
+    # at HEAD must not be regressed by the current working tree's results
+    # (ratios only, so the check is machine-independent).
+    assert main(["--baseline-ref", "HEAD", "--ratios-only"]) == 0

@@ -1,0 +1,237 @@
+"""Single-flight plan cache under concurrency + Workload canonicalization.
+
+The serving front-end hammers :data:`PLAN_CACHE` from many threads; the
+cache must build each unique workload exactly once (others wait for the
+in-flight build), keep ``misses`` equal to true builder invocations, and
+never let a later build silently replace an earlier plan.
+"""
+import threading
+import time
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    PLAN_CACHE,
+    Workload,
+    clear_plan_cache,
+    conv2d_plan,
+    plan_cache_stats,
+)
+from repro.backend.workload import PlanCache
+
+
+# ---------------------------------------------------------------------------
+# Thread hammer: unique builds == misses, no duplicate builder invocations
+# ---------------------------------------------------------------------------
+
+def _hammer(cache: PlanCache, workloads, threads_per_workload: int):
+    """All threads race get_or_build; returns per-workload builder counts."""
+    build_counts = Counter()
+    count_lock = threading.Lock()
+    start = threading.Barrier(len(workloads) * threads_per_workload)
+    results = {}
+    results_lock = threading.Lock()
+
+    def worker(wl):
+        def builder():
+            with count_lock:
+                build_counts[wl] += 1
+            time.sleep(0.005)  # widen the miss window: all threads race the build
+            return object()
+
+        start.wait()
+        plan = cache.get_or_build(wl, builder)
+        with results_lock:
+            results.setdefault(wl, set()).add(id(plan))
+
+    threads = [
+        threading.Thread(target=worker, args=(wl,))
+        for wl in workloads
+        for _ in range(threads_per_workload)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return build_counts, results
+
+
+def test_thread_hammer_builds_each_workload_exactly_once():
+    cache = PlanCache()
+    workloads = [Workload.make("hammer", (i,)) for i in range(6)]
+    build_counts, results = _hammer(cache, workloads, threads_per_workload=8)
+
+    # Exactly one builder invocation per unique workload, no duplicates.
+    assert build_counts == Counter({wl: 1 for wl in workloads}), build_counts
+    # Every thread saw the same plan object: no silent overwrite by a
+    # second build racing the first insert.
+    assert all(len(ids) == 1 for ids in results.values()), results
+    stats = cache.stats()
+    assert stats["misses"] == len(workloads)          # true build count
+    assert stats["builds"] == len(workloads)
+    assert stats["hits"] == len(workloads) * 8 - len(workloads)
+    assert stats["in_flight"] == 0
+
+
+def test_thread_hammer_global_cache_through_conv2d_plan():
+    clear_plan_cache()
+    base = plan_cache_stats()
+    shapes = [((2, 4, 8, 8), (6, 4, 3, 3)), ((2, 4, 6, 6), (8, 4, 3, 3))]
+    plans = {i: set() for i in range(len(shapes))}
+    lock = threading.Lock()
+    start = threading.Barrier(16)
+
+    def worker(i):
+        x_shape, w_shape = shapes[i % len(shapes)]
+        start.wait()
+        plan = conv2d_plan(x_shape, w_shape, 1, 1, 1, "float32")
+        with lock:
+            plans[i % len(shapes)].add(id(plan))
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert all(len(ids) == 1 for ids in plans.values())
+    stats = plan_cache_stats()
+    assert stats["misses"] - base["misses"] == len(shapes)
+    assert stats["builds"] - base["builds"] == len(shapes)
+    assert stats["hits"] - base["hits"] == 16 - len(shapes)
+
+
+def test_failed_build_releases_waiters_and_is_not_cached():
+    cache = PlanCache()
+    wl = Workload.make("doomed")
+    attempts = []
+    start = threading.Barrier(4)
+    errors = []
+
+    def worker():
+        def builder():
+            attempts.append(threading.get_ident())
+            time.sleep(0.002)
+            raise ValueError("bad workload")
+
+        start.wait()
+        try:
+            cache.get_or_build(wl, builder)
+        except ValueError as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    # Every thread fails identically (waiters retry the builder themselves
+    # after the in-flight build collapses) and nothing is cached.
+    assert len(errors) == 4
+    assert len(attempts) == 4
+    assert wl not in cache
+    assert cache.stats()["in_flight"] == 0
+
+
+def test_clear_during_inflight_build_keeps_cache_cold():
+    # A clear() racing an in-flight build must not let the finished plan
+    # sneak back into the "cold" cache (the cold-vs-warm ablation clears
+    # while serving threads may be mid-build).
+    cache = PlanCache()
+    wl = Workload.make("slow")
+    release = threading.Event()
+    built = {}
+
+    def runner():
+        def builder():
+            release.wait(2.0)
+            return "plan"
+
+        built["plan"] = cache.get_or_build(wl, builder)
+
+    thread = threading.Thread(target=runner)
+    thread.start()
+    for _ in range(200):                   # wait until the build is in flight
+        if cache.stats()["in_flight"]:
+            break
+        time.sleep(0.001)
+    cache.clear()
+    release.set()
+    thread.join()
+    assert built["plan"] == "plan"         # the caller still got its plan
+    assert wl not in cache                 # ...but the cleared cache stayed cold
+    assert cache.stats()["size"] == 0
+    # The next lookup is a genuine cold build.
+    assert cache.get_or_build(wl, lambda: "fresh") == "fresh"
+    assert cache.stats()["misses"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Workload param canonicalization (regression: unhashable list params)
+# ---------------------------------------------------------------------------
+
+def test_workload_list_params_are_canonicalized_to_tuples():
+    # Regression: padding=[1, 1] used to raise TypeError at cache-lookup time.
+    from_list = Workload.make("conv2d", (1, 2, 4, 4), (2, 2, 3, 3),
+                              padding=[1, 1], stride=1)
+    from_tuple = Workload.make("conv2d", (1, 2, 4, 4), (2, 2, 3, 3),
+                               padding=(1, 1), stride=1)
+    assert from_list == from_tuple and hash(from_list) == hash(from_tuple)
+    assert from_list.param("padding") == (1, 1)
+
+
+def test_workload_ndarray_and_numpy_scalar_params_are_canonicalized():
+    a = Workload.make("op", stride=np.int64(2), pads=np.array([1, 2]))
+    b = Workload.make("op", stride=2, pads=[1, 2])
+    assert a == b and hash(a) == hash(b)
+    assert a.param("stride") == 2 and a.param("pads") == (1, 2)
+
+
+def test_workload_nested_list_shapes_are_canonicalized():
+    # einsum workloads key on a tuple *of shapes*; inner lists must
+    # canonicalize too.
+    a = Workload.make("einsum", in_shape=([4, 5], [5, 6]), subscripts="ab,bc->ac")
+    b = Workload.make("einsum", in_shape=((4, 5), (5, 6)), subscripts="ab,bc->ac")
+    assert a == b and hash(a) == hash(b)
+
+
+def test_list_param_workload_usable_in_cache():
+    cache = PlanCache()
+    wl = Workload.make("op", pads=[0, 1])
+    assert cache.get_or_build(wl, lambda: "plan") == "plan"
+    assert cache.get_or_build(Workload.make("op", pads=(0, 1)), lambda: "other") == "plan"
+    assert cache.stats()["misses"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Single-thread invariants preserved
+# ---------------------------------------------------------------------------
+
+def test_stats_expose_builds_equal_to_misses():
+    cache = PlanCache()
+    for i in range(5):
+        cache.get_or_build(Workload.make("x", (i % 2,)), lambda: i)
+    stats = cache.stats()
+    assert stats["misses"] == stats["builds"] == 2
+    assert stats["hits"] == 3
+
+
+def test_eviction_still_bounded_under_single_flight():
+    cache = PlanCache(maxsize=2)
+    for i in range(6):
+        cache.get_or_build(Workload.make("x", (i,)), lambda i=i: i)
+    assert len(cache) == 2
+    assert Workload.make("x", (5,)) in cache
+
+
+def test_failed_build_raises_again_singlethreaded():
+    cache = PlanCache()
+    wl = Workload.make("bad")
+    for _ in range(2):
+        with pytest.raises(RuntimeError, match="boom"):
+            cache.get_or_build(wl, lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+    assert cache.stats()["misses"] == 2
+    assert wl not in cache

@@ -1,0 +1,280 @@
+"""Serving front-end: shape-bucketed batching correctness + metrics.
+
+The bitwise-equality tests exploit the server's core numerical property:
+padding every batch to a fixed bucket size makes the GEMM shapes (and hence
+BLAS blocking and summation order) identical no matter how many real
+requests share the batch, so a request's output is bit-identical whether it
+rode alone or fully coalesced.
+"""
+import threading
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.serve import Server, ServerConfig
+from repro.tensor import Tensor, no_grad
+from repro.utils import seed_all
+
+INPUT = (3, 16, 16)
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_all(33)
+
+
+def _model(impl="dsxplore", backend="default"):
+    return build_model("mobilenet", scheme="scc", width_mult=0.25,
+                       impl=impl, backend=backend,
+                       rng=np.random.default_rng(2))
+
+
+def _images(n, shape=INPUT, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(shape).astype(np.float32) for _ in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Correctness: bucketed batches == per-request inference
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("impl", ["channel_stack", "conv_stack", "dsxplore"])
+@pytest.mark.parametrize("backend", ["numpy", "reference"])
+def test_bucketed_outputs_bitwise_equal_per_request(impl, backend):
+    model = _model(impl=impl, backend=backend)
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(4,), max_latency=1.0))
+    images = _images(4)
+
+    # Coalesced: all four requests share one bucket.
+    ids = [server.submit(im) for im in images]
+    batched = [server.result(i).output for i in ids]
+
+    # Per-request: each request rides its own (padded) bucket.
+    solo = []
+    for im in images:
+        rid = server.submit(im)
+        server.flush()
+        solo.append(server.result(rid).output)
+
+    for a, b in zip(batched, solo):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_partial_bucket_padding_does_not_leak_between_requests():
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(4,), max_latency=1.0))
+    images = _images(3, seed=4)
+    # Same three requests next to different batch-mates: identical outputs.
+    first_ids = [server.submit(im) for im in images]
+    server.flush()
+    first = [server.result(i).output for i in first_ids]
+
+    decoys = _images(1, seed=99)
+    second_ids = [server.submit(im) for im in images + decoys]
+    server.flush()
+    second = [server.result(i).output for i in second_ids[:3]]
+    for a, b in zip(first, second):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_server_outputs_match_naive_unbatched_inference():
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(1, 2, 4), max_latency=1.0))
+    images = _images(6, seed=7)
+    ids = [server.submit(im) for im in images]
+    server.flush()
+    with no_grad():
+        for rid, im in zip(ids, images):
+            naive = model(Tensor(im[None])).data[0]
+            np.testing.assert_allclose(server.result(rid).output, naive,
+                                       rtol=1e-5, atol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# Batching policy: bucket sizes + max-latency flush
+# ---------------------------------------------------------------------------
+
+def test_full_bucket_flushes_immediately_partial_waits_for_deadline():
+    clock = [0.0]
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(2, 4), max_latency=0.5),
+                    clock=lambda: clock[0])
+    images = _images(6, seed=1)
+
+    # Four submissions hit the max bucket: flushed inline, no poll needed.
+    ids = [server.submit(im) for im in images[:4]]
+    assert all(server.result(i) is not None for i in ids)
+    assert server.result(ids[0]).bucket_size == 4
+    assert server.result(ids[0]).batch_requests == 4
+
+    # One pending request: stays queued until the deadline passes.
+    rid = server.submit(images[4])
+    assert server.poll() == 0 and server.result(rid) is None
+    clock[0] = 0.6
+    assert server.poll() == 1
+    result = server.result(rid)
+    assert result is not None
+    assert result.bucket_size == 2  # smallest configured bucket that fits
+    assert result.latency == pytest.approx(0.6)
+
+
+def test_flush_drains_queue_larger_than_max_bucket():
+    # Regression: flush()/stop() used to run one max-size batch and strand
+    # the sub-bucket remainder when a burst outran the worker thread.
+    from repro.serve.server import Request
+
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(1, 2, 4), max_latency=1.0))
+    images = _images(10, seed=13)
+    with server._lock:  # simulate a threaded-mode burst the worker missed
+        queue = server._pending.setdefault(INPUT, [])
+        for i, image in enumerate(images):
+            queue.append(Request(id=1000 + i, image=image, submitted_at=0.0))
+    assert server.flush() == 3  # 4 + 4 + 2
+    assert all(server.result(1000 + i) is not None for i in range(10))
+    assert server.metrics().completed == 10
+
+
+def test_unread_result_retention_is_bounded():
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(2,), max_latency=1.0,
+                                        result_capacity=4, metrics_window=6))
+    ids = [server.submit(im) for im in _images(10, seed=14)]
+    server.flush()
+    # Oldest unread results are evicted; recent ones and the aggregate
+    # counters survive.
+    assert server.result(ids[0]) is None
+    assert server.result(ids[-1]) is not None
+    metrics = server.metrics()
+    assert metrics.completed == 10
+    assert metrics.latency_p50 > 0
+    with pytest.raises(ValueError, match="result_capacity"):
+        ServerConfig(result_capacity=0)
+
+
+def test_waited_results_survive_capacity_eviction():
+    # A result someone is blocked in wait_result() on must not be evicted
+    # by result_capacity — otherwise the waiter times out on a request
+    # that actually completed.
+    import time
+
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(8,), max_latency=5.0,
+                                        result_capacity=4))
+    ids = [server.submit(im) for im in _images(7, seed=20)]  # queued, < bucket
+    got = {}
+    waiter = threading.Thread(
+        target=lambda: got.update(result=server.wait_result(ids[0], timeout=10.0))
+    )
+    waiter.start()
+    for _ in range(200):                   # until the waiter has registered
+        with server._lock:
+            if ids[0] in server._waiting:
+                break
+        time.sleep(0.001)
+    server.flush()                         # publishes 7 results, capacity 4
+    waiter.join()
+    assert got["result"].id == ids[0]      # waited result survived eviction
+    assert server.result(ids[1]) is None   # an unwaited old result was evicted
+    assert server.result(ids[-1]) is not None
+
+
+def test_requests_of_unseen_shape_build_cold_plans_but_complete():
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(2,), max_latency=1.0))
+    server.reset_metrics()
+    other = (3, 8, 8)
+    ids = [server.submit(im) for im in _images(2, shape=other, seed=3)]
+    server.flush()
+    assert all(server.result(i) is not None for i in ids)
+    metrics = server.metrics()
+    assert metrics.completed == 2
+    assert metrics.plan_builds > 0  # the cold path is visible in metrics
+
+
+def test_metrics_warm_serving_window():
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(1, 2, 4), max_latency=1.0))
+    # Warmup traffic, then measure a clean window.
+    for im in _images(4, seed=8):
+        server.submit(im)
+    server.flush()
+    server.reset_metrics()
+
+    for im in _images(8, seed=9):
+        server.submit(im)
+    server.flush()
+    metrics = server.metrics()
+    assert metrics.completed == 8
+    assert metrics.batches == 2
+    assert metrics.plan_builds == 0
+    assert metrics.plan_cache_hit_rate == 1.0
+    assert metrics.throughput > 0
+    assert metrics.latency_p95 >= metrics.latency_p50 > 0
+    assert metrics.mean_batch_occupancy == 4.0
+    assert metrics.mean_bucket_fill == 1.0
+    assert metrics.as_dict()["completed"] == 8
+
+
+def test_server_config_validation():
+    with pytest.raises(ValueError, match="bucket_sizes"):
+        ServerConfig(bucket_sizes=())
+    with pytest.raises(ValueError, match="max_latency"):
+        ServerConfig(max_latency=0)
+    config = ServerConfig(bucket_sizes=(8, 2, 2, 4))
+    assert config.bucket_sizes == (2, 4, 8)
+    assert config.bucket_for(1) == 2 and config.bucket_for(5) == 8
+    assert config.bucket_for(64) == 8
+    model = _model()
+    server = Server(model, input_shapes=[INPUT])
+    with pytest.raises(ValueError, match="image"):
+        server.submit(np.zeros((2, *INPUT), dtype=np.float32))
+
+
+# ---------------------------------------------------------------------------
+# Threaded mode: concurrent clients on the single-flight cache
+# ---------------------------------------------------------------------------
+
+def test_threaded_server_serves_concurrent_clients():
+    from repro.backend import plan_cache_stats
+
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(1, 2, 4), max_latency=0.02))
+    base = plan_cache_stats()
+    server.start()
+    try:
+        outputs = {}
+        lock = threading.Lock()
+
+        def client(seed):
+            for i, im in enumerate(_images(5, seed=seed)):
+                rid = server.submit(im)
+                result = server.wait_result(rid, timeout=30.0)
+                with lock:
+                    outputs[(seed, i)] = result
+        clients = [threading.Thread(target=client, args=(s,)) for s in range(3)]
+        for t in clients:
+            t.start()
+        for t in clients:
+            t.join()
+    finally:
+        server.stop()
+
+    assert len(outputs) == 15
+    assert all(r.output.shape == (10,) for r in outputs.values())
+    # Warm plans + single-flight: the serving window built nothing.
+    after = plan_cache_stats()
+    assert after["builds"] == base["builds"]
+    assert after["misses"] == base["misses"]
+    assert server.metrics().completed == 15
