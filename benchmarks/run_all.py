@@ -33,6 +33,7 @@ from bench_ablation_plan_cache import report_ablation_plan_cache
 from bench_ablation_vectorization import report_ablation_vectorization
 from bench_ablation_shift_scc import report_ablation_shift
 from bench_serving_batching import report_serving_batching
+from bench_multimodel_serving import report_multimodel_serving
 
 REPORTS = [
     ("Table I", report_table1),
@@ -53,6 +54,7 @@ REPORTS = [
     ("Ablation: vectorization", report_ablation_vectorization),
     ("Ablation: shift+scc", report_ablation_shift),
     ("Serving: bucketed batching", report_serving_batching),
+    ("Serving: multi-model routing", report_multimodel_serving),
 ]
 
 

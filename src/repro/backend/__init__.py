@@ -41,7 +41,13 @@ Execution-plan cache (``repro.backend.workload`` / ``repro.backend.plan``)
     quantifies the win.  Use :func:`plan_cache_stats` to observe hit rates
     and :func:`clear_plan_cache` to model cold execution.  The cache is
     thread-safe and single-flight: concurrent misses on one workload run
-    the builder exactly once.
+    the builder exactly once.  Traffic is attributable: wrap a client in
+    :func:`plan_owner` (the multi-model serving router tags each model
+    this way) and :func:`plan_cache_owner_stats` reports per-owner
+    hit/miss/build/eviction counts that sum to the global ones, while
+    eviction under capacity pressure is traffic-weighted LRU — victims
+    are drawn from the LRU tail, preferring owners with the least recent
+    traffic, so a hot model's plans survive a cold model's churn.
 
 Model plans (``repro.backend.model_plan``)
     :class:`ModelPlan` lifts planning to whole models: the ordered layer
@@ -73,7 +79,10 @@ from repro.backend.workload import (
     PlanCache,
     Workload,
     clear_plan_cache,
+    current_plan_owner,
+    plan_cache_owner_stats,
     plan_cache_stats,
+    plan_owner,
 )
 from repro.backend.model_plan import ModelPlan, PlannedLayer, layer_workload
 from repro.backend.plan import (
@@ -104,7 +113,10 @@ __all__ = [
     "PlanCache",
     "Workload",
     "clear_plan_cache",
+    "current_plan_owner",
+    "plan_cache_owner_stats",
     "plan_cache_stats",
+    "plan_owner",
     "ModelPlan",
     "PlannedLayer",
     "layer_workload",

@@ -11,12 +11,45 @@ tables: dispatch keys on *what* is being computed, plans capture *how*.
 """
 from __future__ import annotations
 
+import itertools
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 import numpy as np
+
+
+# ---------------------------------------------------------------------------
+# Plan ownership: which client (e.g. a served model) is driving the cache
+# ---------------------------------------------------------------------------
+
+_OWNER = threading.local()
+
+
+def current_plan_owner() -> str | None:
+    """The owner tag cache traffic on this thread is attributed to."""
+    return getattr(_OWNER, "name", None)
+
+
+@contextmanager
+def plan_owner(name: str | None) -> Iterator[None]:
+    """Attribute plan-cache traffic inside the block to ``name``.
+
+    The serving :class:`repro.serve.Server` wraps plan pre-building and
+    batch execution in ``plan_owner(model_name)`` so the shared cache can
+    report per-model hit/miss/eviction counts and weight eviction by
+    per-model traffic.  The tag is thread-local, so concurrent servers (or
+    a server worker next to a trainer) attribute independently; ``None``
+    restores the default (unattributed) accounting.
+    """
+    previous = current_plan_owner()
+    _OWNER.name = name
+    try:
+        yield
+    finally:
+        _OWNER.name = previous
 
 
 def _canonical(value: Any) -> Any:
@@ -87,26 +120,101 @@ class PlanCache:
     that receives an in-flight build counts as a hit, never as a second
     build — so ``stats()["misses"] == stats()["builds"]`` always holds and
     hit rates stay meaningful under a multi-threaded serving front-end.
+
+    **Ownership and eviction.**  Every access is attributed to the owner
+    tag installed by :func:`plan_owner` on the calling thread (``None``
+    when untagged), and every resident entry remembers the owner that built
+    it.  :meth:`owner_stats` reports per-owner hit/miss/build/eviction/size
+    counts that sum exactly to the global :meth:`stats`.  Eviction is
+    *traffic-weighted* LRU: when the cache overflows, the victim is chosen
+    among the ``eviction_candidates`` least-recently-used entries as the
+    one whose owner has the least (exponentially decayed) traffic — so a
+    hot model's plans survive a cold model churning through the tail, while
+    single-owner workloads degrade to exact LRU.
     """
 
-    def __init__(self, maxsize: int = 1024) -> None:
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        eviction_candidates: int = 8,
+        traffic_decay_every: int = 4096,
+    ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        if eviction_candidates < 1:
+            raise ValueError(
+                f"eviction_candidates must be >= 1, got {eviction_candidates}"
+            )
         self.maxsize = maxsize
+        self.eviction_candidates = eviction_candidates
+        self.traffic_decay_every = traffic_decay_every
         self.hits = 0
         self.misses = 0
         self.builds = 0
+        self.evictions = 0
         self._plans: OrderedDict[Workload, Any] = OrderedDict()
+        self._entry_owner: dict[Workload, str | None] = {}
+        self._owner_stats: dict[str | None, dict[str, int]] = {}
+        self._traffic: dict[str | None, float] = {}  # decayed eviction weights
+        self._accesses_since_decay = 0
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._building: set[Workload] = set()
         self._epoch = 0  # bumped by clear(): in-flight builds must not insert
 
+    # -- owner accounting (all called with the lock held) ----------------------
+
+    def _owner_acc(self, owner: str | None) -> dict[str, int]:
+        acc = self._owner_stats.get(owner)
+        if acc is None:
+            acc = self._owner_stats[owner] = {
+                "hits": 0, "misses": 0, "builds": 0, "evictions": 0,
+            }
+        return acc
+
+    def _record_access(self, owner: str | None, kind: str) -> None:
+        self._owner_acc(owner)[kind] += 1
+        self._traffic[owner] = self._traffic.get(owner, 0.0) + 1.0
+        self._accesses_since_decay += 1
+        if self._accesses_since_decay >= self.traffic_decay_every:
+            # Halve every owner's weight so "hot" tracks *recent* traffic: a
+            # model that stopped receiving requests stops shielding its plans.
+            self._accesses_since_decay = 0
+            for key in self._traffic:
+                self._traffic[key] *= 0.5
+
+    def _evict_one(self) -> None:
+        """Drop the least-traffic-owner entry among the LRU candidates.
+
+        The MRU entry is never a candidate: on the insert-overflow path it
+        is the plan that was *just built*, and evicting it would doom a
+        low-traffic owner on a small cache to a permanent build-evict-build
+        cycle (miss churn with a 0% hit rate) whenever the cache is no
+        larger than the candidate window.
+        """
+        candidates = itertools.islice(
+            self._plans, min(self.eviction_candidates, len(self._plans) - 1)
+        )
+        # min() is stable and the candidates iterate oldest-first, so ties
+        # (same owner, or equal-traffic owners) fall back to exact LRU.
+        victim = min(
+            candidates,
+            key=lambda wl: self._traffic.get(self._entry_owner.get(wl), 0.0),
+        )
+        del self._plans[victim]
+        owner = self._entry_owner.pop(victim, None)
+        self.evictions += 1
+        self._owner_acc(owner)["evictions"] += 1
+
+    # -- lookup ----------------------------------------------------------------
+
     def get_or_build(self, workload: Workload, builder: Callable[[], Any]) -> Any:
+        owner = current_plan_owner()
         with self._cond:
             while True:
                 if workload in self._plans:
                     self.hits += 1
+                    self._record_access(owner, "hits")
                     self._plans.move_to_end(workload)
                     return self._plans[workload]
                 if workload not in self._building:
@@ -114,6 +222,9 @@ class PlanCache:
                     self._building.add(workload)
                     self.misses += 1
                     self.builds += 1
+                    acc = self._owner_acc(owner)
+                    acc["builds"] += 1
+                    self._record_access(owner, "misses")
                     epoch = self._epoch
                     break
                 # Another thread is building this workload: wait for it to
@@ -135,18 +246,42 @@ class PlanCache:
                 # must not silently re-acquire pre-clear entries.
                 self._plans[workload] = plan
                 self._plans.move_to_end(workload)
+                self._entry_owner[workload] = owner
                 while len(self._plans) > self.maxsize:
-                    self._plans.popitem(last=False)
+                    self._evict_one()
             self._cond.notify_all()
         return plan
+
+    # -- maintenance -----------------------------------------------------------
 
     def clear(self) -> None:
         with self._cond:
             self._epoch += 1
             self._plans.clear()
+            self._entry_owner.clear()
+            self._owner_stats.clear()
+            self._traffic.clear()
+            self._accesses_since_decay = 0
             self.hits = 0
             self.misses = 0
             self.builds = 0
+            self.evictions = 0
+
+    def resize(self, maxsize: int) -> None:
+        """Change the capacity in place, evicting down if shrinking.
+
+        The serving stress/soak tests (and capacity experiments) bound the
+        *global* cache this way instead of swapping the singleton out from
+        under live servers.
+        """
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        with self._cond:
+            self.maxsize = maxsize
+            while len(self._plans) > self.maxsize:
+                self._evict_one()
+
+    # -- observability ---------------------------------------------------------
 
     def stats(self) -> dict[str, int]:
         with self._cond:
@@ -155,8 +290,29 @@ class PlanCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "builds": self.builds,
+                "evictions": self.evictions,
                 "in_flight": len(self._building),
             }
+
+    def owner_stats(self) -> dict[str | None, dict[str, int]]:
+        """Per-owner accounting: hit/miss/build counts by *accessor*,
+        evictions and resident ``size`` by the owner that *built* the entry.
+
+        Each global counter in :meth:`stats` equals the sum of the matching
+        per-owner counter (untagged traffic lands on the ``None`` owner), so
+        a multi-model router can reconcile its per-model view against the
+        process-wide one.
+        """
+        with self._cond:
+            out = {owner: dict(acc) for owner, acc in self._owner_stats.items()}
+            for owner in self._entry_owner.values():
+                if owner not in out:
+                    out[owner] = {"hits": 0, "misses": 0, "builds": 0, "evictions": 0}
+            for acc in out.values():
+                acc["size"] = 0
+            for owner in self._entry_owner.values():
+                out[owner]["size"] += 1
+            return out
 
     def __len__(self) -> int:
         with self._lock:
@@ -174,6 +330,11 @@ PLAN_CACHE = PlanCache()
 def plan_cache_stats() -> dict[str, int]:
     """Hit/miss/size counters of the global plan cache."""
     return PLAN_CACHE.stats()
+
+
+def plan_cache_owner_stats() -> dict[str | None, dict[str, int]]:
+    """Per-owner counters of the global plan cache (see ``plan_owner``)."""
+    return PLAN_CACHE.owner_stats()
 
 
 def clear_plan_cache() -> None:

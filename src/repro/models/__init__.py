@@ -6,13 +6,19 @@
 CPU-scale training runs; ``width_mult=1.0`` gives the paper's full-size
 models for exact FLOPs/params accounting (see DESIGN.md section 2).
 """
-from repro.models.registry import build_model, available_models, MODEL_BUILDERS
+from repro.models.registry import (
+    MODEL_BUILDERS,
+    available_models,
+    build_model,
+    build_serving_model,
+)
 from repro.models.vgg import VGG, build_vgg
 from repro.models.resnet import ResNet, build_resnet
 from repro.models.mobilenet import MobileNet, build_mobilenet
 
 __all__ = [
     "build_model",
+    "build_serving_model",
     "available_models",
     "MODEL_BUILDERS",
     "VGG",

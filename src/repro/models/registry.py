@@ -91,3 +91,21 @@ def build_model(
             include_backward=plan_backward,
         )
     return model
+
+
+def build_serving_model(name: str, seed: int = 0, **kwargs) -> nn.Module:
+    """Deterministic eval-mode model for the multi-model serving router.
+
+    A thin :func:`build_model` wrapper with serving defaults: weights drawn
+    from a seeded generator (two routers registering the same
+    ``(name, seed, config)`` serve bit-identical outputs) and the module
+    switched to eval mode, which serving assumes (BN running stats frozen).
+    ``kwargs`` pass through to :func:`build_model`; ``plan_backward``
+    defaults to ``False`` because serving never runs a backward pass.
+
+    :meth:`repro.serve.Router.register` calls this when handed a registry
+    name instead of a built module.
+    """
+    kwargs.setdefault("rng", np.random.default_rng(seed))
+    kwargs.setdefault("plan_backward", False)
+    return build_model(name, **kwargs).eval()

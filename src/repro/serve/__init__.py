@@ -1,4 +1,4 @@
-"""Inference serving front-end: shape-bucketed request batching.
+"""Inference serving front-end: shape-bucketed request batching + routing.
 
 The ROADMAP's heavy-traffic north star meets the plan cache here: incoming
 single-image requests are coalesced into shape-bucketed batches so every
@@ -6,24 +6,42 @@ bucket executes on a warm :class:`repro.backend.ModelPlan` entry, and the
 plan-cache hit rate becomes a first-class serving metric next to p50/p95
 latency and throughput.
 
-- :class:`Server` — submit/flush front-end with configurable bucket sizes
-  and a max-latency flush deadline, plus an optional background worker
-  thread (the concurrent path the single-flight plan cache exists for);
-- :class:`ServerConfig` — bucket/flush knobs;
+- :class:`Server` — submit/flush front-end for one model with configurable
+  bucket sizes, a max-latency flush deadline, per-model admission control
+  (``max_pending`` + :class:`QueueFull` shedding) and an optional
+  background worker thread (the concurrent path the single-flight plan
+  cache exists for);
+- :class:`Router` — multi-model front-end: one server per registered
+  model, requests routed by model name, all servers sharing the
+  process-wide plan cache with per-model (owner-tagged) accounting and
+  traffic-weighted eviction; :class:`RouterMetrics` aggregates per-model
+  p50/p95/throughput/hit-rate;
+- :class:`ServerConfig` — bucket/flush/admission knobs;
 - :class:`RequestResult` / :class:`ServingMetrics` — per-request outputs and
-  aggregate serving statistics.
+  aggregate serving statistics;
+- :class:`QueueFull` / :class:`RequestShed` — the two ways a request is
+  shed (admission control, shutdown without drain) rather than silently
+  dropped.
 """
+from repro.serve.router import Router, RouterHandle, RouterMetrics
 from repro.serve.server import (
+    QueueFull,
     Request,
     RequestResult,
+    RequestShed,
     Server,
     ServerConfig,
     ServingMetrics,
 )
 
 __all__ = [
+    "QueueFull",
     "Request",
     "RequestResult",
+    "RequestShed",
+    "Router",
+    "RouterHandle",
+    "RouterMetrics",
     "Server",
     "ServerConfig",
     "ServingMetrics",

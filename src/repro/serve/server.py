@@ -30,8 +30,27 @@ from typing import Callable
 
 import numpy as np
 
-from repro.backend import ModelPlan, plan_cache_stats
+from repro.backend import ModelPlan, plan_cache_owner_stats, plan_cache_stats, plan_owner
 from repro.tensor import Tensor, no_grad
+
+
+class QueueFull(RuntimeError):
+    """Admission control rejected a submit: the pending queue is at capacity.
+
+    Raised by :meth:`Server.submit` when ``ServerConfig.max_pending`` is set
+    and already reached — the shed-on-overload alternative to letting an
+    overloaded server's queue (and every request's latency) grow without
+    bound.  Rejected requests are counted in ``ServingMetrics.rejected``.
+    """
+
+
+class RequestShed(RuntimeError):
+    """The request was dropped by an explicit shed (``stop(drain=False)``).
+
+    A shed request never executed; it is reported — via this exception from
+    :meth:`Server.wait_result` or via :meth:`Server.was_shed` — rather than
+    silently discarded, so no submitted request simply vanishes on shutdown.
+    """
 
 
 @dataclass
@@ -68,6 +87,8 @@ class ServingMetrics:
     plan_builds: int             # plan-cache builds during serving (0 = warm)
     mean_batch_occupancy: float  # real requests per executed batch
     mean_bucket_fill: float      # real requests / padded bucket slots
+    rejected: int = 0            # submits refused by admission control
+    shed: int = 0                # pending requests dropped by stop(drain=False)
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -93,6 +114,9 @@ class ServerConfig:
     # are computed over the most recent metrics_window completions.
     result_capacity: int = 65536
     metrics_window: int = 65536
+    # Admission control: total queued-but-unexecuted requests this server
+    # accepts before submit() sheds with QueueFull.  None = unbounded.
+    max_pending: int | None = None
 
     def __post_init__(self) -> None:
         if not self.bucket_sizes or any(b < 1 for b in self.bucket_sizes):
@@ -102,6 +126,8 @@ class ServerConfig:
             raise ValueError(f"max_latency must be positive, got {self.max_latency}")
         if self.result_capacity < 1 or self.metrics_window < 1:
             raise ValueError("result_capacity and metrics_window must be >= 1")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1 or None, got {self.max_pending}")
 
     @property
     def max_bucket(self) -> int:
@@ -128,9 +154,16 @@ class Server:
         show up in the metrics as ``plan_builds`` (the cold path the
         pre-building exists to avoid).
     config:
-        bucket sizes and flush deadline.
+        bucket sizes, flush deadline and admission bound.
     clock:
         time source (injectable for deterministic tests).
+    name:
+        owner tag for shared-plan-cache accounting.  When set (the
+        multi-model :class:`~repro.serve.router.Router` always sets it),
+        every plan build and batch execution runs under
+        :func:`repro.backend.plan_owner`, so the cache attributes this
+        server's hits/misses/evictions to it and the metrics hit rate is
+        computed from the per-owner counters instead of the global deltas.
     """
 
     def __init__(
@@ -139,62 +172,91 @@ class Server:
         input_shapes: tuple | list = ((3, 32, 32),),
         config: ServerConfig | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        name: str | None = None,
     ) -> None:
         self.model = model.eval()
         self.config = config or ServerConfig()
         self.clock = clock
+        self.name = name
         self._ids = itertools.count()
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._exec_lock = threading.Lock()
         self._pending: dict[tuple, list[Request]] = {}
+        self._pending_total = 0
         self._results: OrderedDict[int, RequestResult] = OrderedDict()
         self._waiting: set[int] = set()  # ids with a blocked wait_result()
+        self._shed_ids: set[int] = set()
         self._plans: dict[tuple, ModelPlan] = {}
         self._worker: threading.Thread | None = None
         self._stopping = False
 
-        for shape in input_shapes:
-            for bucket in self.config.bucket_sizes:
-                self._plans[(tuple(shape), bucket)] = ModelPlan(
-                    self.model, tuple(shape), batch_size=bucket,
-                    include_backward=False,
-                )
+        with plan_owner(self.name):
+            for shape in input_shapes:
+                for bucket in self.config.bucket_sizes:
+                    self._plans[(tuple(shape), bucket)] = ModelPlan(
+                        self.model, tuple(shape), batch_size=bucket,
+                        include_backward=False,
+                    )
         self.reset_metrics()
 
     # -- metrics --------------------------------------------------------------
+
+    def _cache_counters(self) -> tuple[int, int, int]:
+        """(hits, misses, builds) attributed to this server.
+
+        Named servers read the shared cache's per-owner counters — exact
+        under any mix of cache clients (other servers, a trainer).
+        Unnamed servers fall back to the process-global counters, which
+        are only correct while this server is the dominant client.
+        """
+        if self.name is not None:
+            acc = plan_cache_owner_stats().get(self.name)
+            if acc is None:
+                return (0, 0, 0)
+            return (acc["hits"], acc["misses"], acc["builds"])
+        base = plan_cache_stats()
+        return (base["hits"], base["misses"], base["builds"])
 
     def reset_metrics(self) -> None:
         """Start a fresh measurement window (e.g. after warmup traffic)."""
         with self._lock:
             self._completed = 0
+            self._rejected = 0
+            self._shed = 0
             self._latencies: deque[float] = deque(maxlen=self.config.metrics_window)
             self._batch_records: deque[tuple[int, int]] = deque(  # (requests, bucket)
                 maxlen=self.config.metrics_window
             )
             self._window_started: float | None = None
             self._window_finished: float | None = None
-            base = plan_cache_stats()
-            self._cache_base = (base["hits"], base["misses"], base["builds"])
+            self._cache_base = self._cache_counters()
 
     def metrics(self) -> ServingMetrics:
         """Aggregate statistics since the last :meth:`reset_metrics`.
 
         ``completed``/``throughput`` count the whole window; latency
         percentiles and batch occupancy are over the most recent
-        ``metrics_window`` completions.  ``plan_cache_hit_rate`` and
-        ``plan_builds`` are deltas of the *process-global* plan cache, so
-        they attribute cache traffic correctly only while this server is
-        the cache's dominant client (a concurrent trainer, second server,
-        or ``clear_plan_cache()`` call lands in the same window).
+        ``metrics_window`` completions.  For a *named* server,
+        ``plan_cache_hit_rate`` and ``plan_builds`` come from the plan
+        cache's per-owner counters and are exact under any mix of cache
+        clients; for an unnamed server they are process-global deltas and
+        attribute correctly only while this server is the cache's dominant
+        client.  A ``clear_plan_cache()`` landing in the window zeroes the
+        cache's counters, losing the pre-clear portion: attribution
+        restarts from the clear (never negative deltas).
         """
         with self._lock:
             lat = sorted(self._latencies)
             completed = self._completed
-            cache = plan_cache_stats()
-            hits = cache["hits"] - self._cache_base[0]
-            misses = cache["misses"] - self._cache_base[1]
-            builds = cache["builds"] - self._cache_base[2]
+            cache = self._cache_counters()
+            if any(now < base for now, base in zip(cache, self._cache_base)):
+                # The cache was cleared mid-window: its counters restarted
+                # from zero, so "since the clear" is all that is knowable.
+                self._cache_base = (0, 0, 0)
+            hits = cache[0] - self._cache_base[0]
+            misses = cache[1] - self._cache_base[1]
+            builds = cache[2] - self._cache_base[2]
             elapsed = 0.0
             if self._window_started is not None and self._window_finished is not None:
                 elapsed = self._window_finished - self._window_started
@@ -212,6 +274,8 @@ class Server:
                 mean_batch_occupancy=real / len(self._batch_records)
                 if self._batch_records else 0.0,
                 mean_bucket_fill=real / padded if padded else 0.0,
+                rejected=self._rejected,
+                shed=self._shed,
             )
 
     # -- request lifecycle ----------------------------------------------------
@@ -221,7 +285,9 @@ class Server:
 
         A bucket that reaches the largest configured size is flushed
         immediately (inline in synchronous mode, by the worker in threaded
-        mode).
+        mode).  When ``max_pending`` is configured and the queue is at
+        capacity the request is shed instead: :class:`QueueFull` is raised
+        and the ``rejected`` counter increments (admission control).
         """
         image = np.asarray(image, dtype=np.float32)
         if image.ndim != 3:
@@ -231,10 +297,20 @@ class Server:
         request = Request(id=next(self._ids), image=image, submitted_at=now)
         run_shape = None
         with self._cond:
+            if (
+                self.config.max_pending is not None
+                and self._pending_total >= self.config.max_pending
+            ):
+                self._rejected += 1
+                raise QueueFull(
+                    f"server queue at capacity ({self._pending_total} pending, "
+                    f"max_pending={self.config.max_pending}); request shed"
+                )
             if self._window_started is None:
                 self._window_started = now
             queue = self._pending.setdefault(shape, [])
             queue.append(request)
+            self._pending_total += 1
             if len(queue) >= self.config.max_bucket:
                 if self._worker is None:
                     run_shape = shape
@@ -243,6 +319,16 @@ class Server:
         if run_shape is not None:
             self._flush_shape(run_shape)
         return request.id
+
+    def pending_count(self) -> int:
+        """Requests submitted but not yet executed (the admission quantity)."""
+        with self._lock:
+            return self._pending_total
+
+    def window_span(self) -> tuple[float | None, float | None]:
+        """(first submit, last completion) clock readings of this window."""
+        with self._lock:
+            return self._window_started, self._window_finished
 
     def poll(self, now: float | None = None) -> int:
         """Flush every bucket whose oldest request has exceeded the deadline
@@ -287,6 +373,10 @@ class Server:
             self._waiting.add(request_id)
             try:
                 while request_id not in self._results:
+                    if request_id in self._shed_ids:
+                        raise RequestShed(
+                            f"request {request_id} was shed on shutdown before executing"
+                        )
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         raise TimeoutError(
@@ -296,6 +386,11 @@ class Server:
                 return self._results[request_id]
             finally:
                 self._waiting.discard(request_id)
+
+    def was_shed(self, request_id: int) -> bool:
+        """Whether a request was dropped (unexecuted) by ``stop(drain=False)``."""
+        with self._lock:
+            return request_id in self._shed_ids
 
     # -- batch execution ------------------------------------------------------
 
@@ -311,8 +406,9 @@ class Server:
                 with self._lock:
                     plan = self._plans.get(key)
                 if plan is None:
-                    plan = ModelPlan(self.model, tuple(shape), batch_size=bucket,
-                                     include_backward=False)
+                    with plan_owner(self.name):
+                        plan = ModelPlan(self.model, tuple(shape), batch_size=bucket,
+                                         include_backward=False)
                     with self._lock:
                         self._plans.setdefault(key, plan)
                         plan = self._plans[key]
@@ -335,6 +431,7 @@ class Server:
                 take = min(len(queue), self.config.max_bucket)
                 requests = queue[:take]
                 del queue[:take]
+                self._pending_total -= take
             self._run_batch(shape, requests)
             batches += 1
 
@@ -344,7 +441,7 @@ class Server:
         plan = self._plan_for(shape, bucket)
         with self._exec_lock:
             batch = plan.stage_batch(np.stack([r.image for r in requests]))
-            with no_grad():
+            with no_grad(), plan_owner(self.name):
                 out = self.model(Tensor(batch)).data
             done = self.clock()
         with self._cond:
@@ -382,16 +479,50 @@ class Server:
         self._worker.start()
         return self
 
-    def stop(self) -> None:
-        """Drain all pending requests and join the worker."""
-        if self._worker is None:
-            return
+    def stop(self, drain: bool = True) -> None:
+        """Shut down, guaranteeing no submitted request is silently dropped.
+
+        ``drain=True`` joins the worker and then flushes: every request
+        pending at (or racing) shutdown completes and is retrievable via
+        :meth:`result`.  ``drain=False`` sheds instead of executing: pending
+        requests are removed, counted in ``ServingMetrics.shed``, and
+        reported — :meth:`was_shed` returns ``True`` and any
+        :meth:`wait_result` on them raises :class:`RequestShed` immediately.
+
+        The worker handle is claimed under the lock *before* the final
+        drain/shed, so a concurrent ``submit`` either sees no worker (and
+        applies synchronous-mode semantics itself) or enqueued early enough
+        for the drain/shed pass here to account for it.  Safe to call twice
+        and without :meth:`start` (synchronous mode): it just drains/sheds.
+        """
         with self._cond:
+            worker, self._worker = self._worker, None
             self._stopping = True
             self._cond.notify_all()
-        self._worker.join()
-        self._worker = None
-        self.flush()
+        if worker is not None:
+            worker.join()
+        if drain:
+            self.flush()
+        else:
+            self._shed_pending()
+
+    def _shed_pending(self) -> None:
+        """Drop every queued request, reporting each as shed."""
+        with self._cond:
+            for queue in self._pending.values():
+                for request in queue:
+                    self._shed_ids.add(request.id)
+                    self._shed += 1
+                queue.clear()
+            self._pending_total = 0
+            # Same retention bound as unread results: repeated shed/restart
+            # cycles on a long-lived server must not grow the set forever.
+            # Request ids are monotonic, so "oldest" is "smallest".
+            if len(self._shed_ids) > self.config.result_capacity:
+                self._shed_ids = set(
+                    sorted(self._shed_ids)[-self.config.result_capacity:]
+                )
+            self._cond.notify_all()  # wake waiters so they see RequestShed
 
     def _worker_loop(self) -> None:
         interval = self.config.worker_poll_interval or self.config.max_latency / 4

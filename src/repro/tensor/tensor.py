@@ -8,29 +8,34 @@ Gradient propagation is a single reverse topological walk over the recorded
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Any, Iterator, Sequence
 
 import numpy as np
 
 DEFAULT_DTYPE = np.float32
 
-_grad_enabled = True
+# Grad mode is *thread-local* (as in PyTorch): each serving worker or
+# client thread toggles recording for itself only.  A process-global flag
+# would race under the multi-model router — two overlapping no_grad()
+# blocks on different threads could interleave their save/restore and
+# leave recording disabled for the whole process.
+_grad_state = threading.local()
 
 
 def is_grad_enabled() -> bool:
-    return _grad_enabled
+    return getattr(_grad_state, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad() -> Iterator[None]:
-    """Disable graph recording (inference / update steps)."""
-    global _grad_enabled
-    prev = _grad_enabled
-    _grad_enabled = False
+    """Disable graph recording on this thread (inference / update steps)."""
+    prev = is_grad_enabled()
+    _grad_state.enabled = False
     try:
         yield
     finally:
-        _grad_enabled = prev
+        _grad_state.enabled = prev
 
 
 class Tensor:

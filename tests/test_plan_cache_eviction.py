@@ -1,0 +1,226 @@
+"""PlanCache eviction policy + per-owner accounting regressions.
+
+Until the multi-model router, nothing ever drove the cache to its
+``maxsize`` bound — these tests pin down the LRU semantics that the bound
+implies (re-touch ordering, eviction at exactly capacity), the per-owner
+counters the router's metrics are built on (they must sum to the global
+counters), the traffic-weighted victim selection that keeps a hot model's
+plans resident, and ``clear()``'s epoch behaviour with builds in flight.
+"""
+import threading
+import time
+
+import pytest
+
+from repro.backend import Workload, plan_owner
+from repro.backend.workload import PlanCache
+
+
+def wl(i: int) -> Workload:
+    return Workload.make("evict", (i,))
+
+
+def fill(cache: PlanCache, indices, owner: str | None = None):
+    with plan_owner(owner):
+        for i in indices:
+            cache.get_or_build(wl(i), lambda i=i: f"plan-{i}")
+
+
+# ---------------------------------------------------------------------------
+# LRU order and the maxsize bound
+# ---------------------------------------------------------------------------
+
+def test_get_or_build_retouch_updates_lru_order():
+    cache = PlanCache(maxsize=2)
+    fill(cache, [0, 1])
+    cache.get_or_build(wl(0), lambda: "never built")  # hit: 0 becomes MRU
+    fill(cache, [2])                                  # overflow: 1 is LRU now
+    assert wl(0) in cache and wl(2) in cache
+    assert wl(1) not in cache
+    assert cache.stats()["evictions"] == 1
+
+
+def test_no_eviction_at_exactly_maxsize():
+    cache = PlanCache(maxsize=4)
+    fill(cache, range(4))
+    stats = cache.stats()
+    assert stats["size"] == 4 and stats["evictions"] == 0
+    fill(cache, [4])  # one past capacity: exactly one eviction
+    stats = cache.stats()
+    assert stats["size"] == 4 and stats["evictions"] == 1
+    assert wl(0) not in cache  # the LRU entry went
+
+
+def test_eviction_bound_holds_under_churn():
+    cache = PlanCache(maxsize=3)
+    fill(cache, range(20))
+    stats = cache.stats()
+    assert stats["size"] == len(cache) == 3
+    assert stats["evictions"] == 17
+    # size always reconciles with builds - evictions when nothing was cleared
+    assert stats["size"] == stats["builds"] - stats["evictions"]
+
+
+def test_single_owner_eviction_degrades_to_exact_lru():
+    cache = PlanCache(maxsize=2)
+    fill(cache, range(6), owner="only")
+    assert wl(4) in cache and wl(5) in cache
+
+
+def test_resize_shrinks_in_place_and_counts_evictions():
+    cache = PlanCache(maxsize=8)
+    fill(cache, range(8))
+    cache.resize(3)
+    stats = cache.stats()
+    assert stats["size"] == 3 and cache.maxsize == 3
+    assert stats["evictions"] == 5
+    assert all(wl(i) in cache for i in (5, 6, 7))  # MRU tail survives
+    cache.resize(8)
+    fill(cache, range(8))  # regrowing admits new entries again
+    assert cache.stats()["size"] == 8
+    with pytest.raises(ValueError, match="maxsize"):
+        cache.resize(0)
+
+
+# ---------------------------------------------------------------------------
+# Traffic-weighted eviction: hot owners resist cold-owner churn
+# ---------------------------------------------------------------------------
+
+def test_hot_owner_plans_survive_cold_owner_churn():
+    cache = PlanCache(maxsize=4)
+    fill(cache, [0, 1], owner="hot")
+    with plan_owner("hot"):                 # hot traffic: many re-touches
+        for _ in range(50):
+            cache.get_or_build(wl(0), lambda: "x")
+            cache.get_or_build(wl(1), lambda: "x")
+    fill(cache, [10, 11], owner="cold")     # cache now full; hot entries are LRU
+    fill(cache, [12, 13], owner="cold")     # overflow: victims must be cold's
+    assert wl(0) in cache and wl(1) in cache
+    assert wl(10) not in cache and wl(11) not in cache
+    owners = cache.owner_stats()
+    assert owners["cold"]["evictions"] == 2
+    assert owners["hot"]["evictions"] == 0
+
+
+def test_fresh_cold_build_is_never_its_own_eviction_victim():
+    # Regression: when the cache is no larger than the candidate window,
+    # the just-inserted MRU entry used to be a candidate — a low-traffic
+    # owner's brand-new plan could be evicted immediately, dooming it to a
+    # permanent build-evict-build cycle with a 0% hit rate.
+    cache = PlanCache(maxsize=4, eviction_candidates=8)
+    fill(cache, range(4), owner="hot")
+    with plan_owner("hot"):
+        for _ in range(50):
+            for i in range(4):
+                cache.get_or_build(wl(i), lambda: "x")
+    fill(cache, [10], owner="cold")
+    assert wl(10) in cache                   # the fresh build survived
+    with plan_owner("cold"):
+        cache.get_or_build(wl(10), lambda: "never rebuilt")
+    owners = cache.owner_stats()
+    assert owners["cold"] == {"hits": 1, "misses": 1, "builds": 1,
+                              "evictions": 0, "size": 1}
+
+
+def test_pure_lru_would_have_evicted_the_hot_entries():
+    # Control for the test above: with equal traffic the same access
+    # pattern evicts the oldest entries regardless of owner.
+    cache = PlanCache(maxsize=4)
+    fill(cache, [0, 1], owner="a")
+    fill(cache, [10, 11], owner="b")
+    fill(cache, [12, 13], owner="b")
+    assert wl(0) not in cache and wl(1) not in cache
+
+
+def test_traffic_decay_lets_a_gone_cold_owner_lose_protection():
+    cache = PlanCache(maxsize=4, traffic_decay_every=16)
+    fill(cache, [0, 1], owner="was-hot")
+    with plan_owner("was-hot"):
+        for _ in range(8):
+            cache.get_or_build(wl(0), lambda: "x")
+            cache.get_or_build(wl(1), lambda: "x")
+    # "was-hot" stops submitting; steady "now-hot" traffic decays its weight.
+    fill(cache, [10, 11], owner="now-hot")
+    with plan_owner("now-hot"):
+        for _ in range(40):
+            cache.get_or_build(wl(10), lambda: "x")
+            cache.get_or_build(wl(11), lambda: "x")
+    fill(cache, [12, 13], owner="now-hot")
+    # After decay, was-hot's stale weight no longer outranks live traffic:
+    # its idle entries are the victims even though now-hot built most
+    # recently.
+    assert wl(0) not in cache and wl(1) not in cache
+    assert wl(10) in cache and wl(11) in cache
+
+
+# ---------------------------------------------------------------------------
+# Per-owner stats reconcile with the global counters
+# ---------------------------------------------------------------------------
+
+def test_owner_stats_sum_to_global_stats():
+    cache = PlanCache(maxsize=3)
+    fill(cache, [0, 1], owner="a")
+    fill(cache, [1, 2, 3], owner="b")      # b hits a's plan 1, builds 2, 3
+    cache.get_or_build(wl(3), lambda: "x")  # untagged hit -> owner None
+    stats = cache.stats()
+    owners = cache.owner_stats()
+    assert set(owners) == {"a", "b", None}
+    for key in ("hits", "misses", "builds", "evictions"):
+        assert sum(acc[key] for acc in owners.values()) == stats[key], key
+    assert sum(acc["size"] for acc in owners.values()) == stats["size"]
+    # Access attribution goes to the accessor, entry ownership to the builder.
+    assert owners["b"]["hits"] == 1 and owners["b"]["builds"] == 2
+    assert owners[None]["hits"] == 1 and owners[None]["builds"] == 0
+
+
+def test_eviction_attributed_to_owner_of_evicted_entry():
+    cache = PlanCache(maxsize=2)
+    fill(cache, [0], owner="a")
+    fill(cache, [1, 2], owner="b")   # evicts a's entry
+    owners = cache.owner_stats()
+    assert owners["a"]["evictions"] == 1
+    assert owners["b"]["evictions"] == 0
+    assert owners["a"]["size"] == 0 and owners["b"]["size"] == 2
+
+
+# ---------------------------------------------------------------------------
+# clear() epoch behaviour with in-flight builds
+# ---------------------------------------------------------------------------
+
+def test_clear_resets_eviction_and_owner_accounting():
+    cache = PlanCache(maxsize=2)
+    fill(cache, range(4), owner="a")
+    assert cache.stats()["evictions"] == 2
+    cache.clear()
+    stats = cache.stats()
+    assert stats == {"size": 0, "hits": 0, "misses": 0, "builds": 0,
+                     "evictions": 0, "in_flight": 0}
+    assert cache.owner_stats() == {}
+
+
+def test_clear_during_inflight_build_keeps_owner_table_consistent():
+    # The epoch check must also keep the *owner* bookkeeping out: a plan
+    # whose insert was invalidated by clear() must not leave a dangling
+    # per-owner size entry.
+    cache = PlanCache(maxsize=4)
+    release = threading.Event()
+
+    def runner():
+        with plan_owner("racer"):
+            cache.get_or_build(wl(0), lambda: release.wait(2.0) or "plan")
+
+    thread = threading.Thread(target=runner)
+    thread.start()
+    for _ in range(200):
+        if cache.stats()["in_flight"]:
+            break
+        time.sleep(0.001)
+    cache.clear()
+    release.set()
+    thread.join()
+    assert wl(0) not in cache
+    owners = cache.owner_stats()
+    assert sum(acc["size"] for acc in owners.values()) == 0
+    # The post-clear cache still works and re-attributes fresh traffic.
+    fill(cache, [0], owner="racer")
+    assert cache.owner_stats()["racer"]["size"] == 1

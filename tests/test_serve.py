@@ -242,6 +242,133 @@ def test_server_config_validation():
 
 
 # ---------------------------------------------------------------------------
+# Shutdown semantics: no submitted request is silently dropped
+# ---------------------------------------------------------------------------
+
+def test_stop_drains_requests_racing_shutdown():
+    # Requests submitted concurrently with stop() must all complete: stop
+    # claims the worker under the lock before its final drain, so a racing
+    # submit either lands in the drain or applies sync-mode semantics itself.
+    from repro.serve import ServingMetrics
+
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(1, 2, 4), max_latency=0.005))
+    server.start()
+    ids = []
+    lock = threading.Lock()
+    stop_now = threading.Event()
+
+    def client(seed):
+        for i, im in enumerate(_images(6, seed=seed)):
+            rid = server.submit(im)
+            with lock:
+                ids.append(rid)
+            if i == 2:
+                stop_now.set()  # let stop() race the middle of the stream
+
+    clients = [threading.Thread(target=client, args=(s,)) for s in range(3)]
+    for t in clients:
+        t.start()
+    stop_now.wait(5.0)
+    server.stop()             # drain=True: joins worker, then flushes
+    for t in clients:
+        t.join()
+    server.flush()            # requests submitted after stop() returned
+    assert len(ids) == 18
+    assert all(server.result(rid) is not None for rid in ids)
+    metrics = server.metrics()
+    assert isinstance(metrics, ServingMetrics)
+    assert metrics.completed == 18 and metrics.shed == 0
+
+
+def test_stop_without_drain_sheds_pending_and_reports_them():
+    from repro.serve import RequestShed
+
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(8,), max_latency=5.0))
+    executed = server.submit(_images(1, seed=30)[0])
+    server.flush()
+    pending = [server.submit(im) for im in _images(3, seed=31)]
+    server.stop(drain=False)
+    # Executed results survive; pending ones are shed, not silently dropped.
+    assert server.result(executed) is not None
+    for rid in pending:
+        assert server.result(rid) is None
+        assert server.was_shed(rid)
+    with pytest.raises(RequestShed, match="shed"):
+        server.wait_result(pending[0], timeout=1.0)
+    assert server.pending_count() == 0
+    assert server.metrics().shed == 3
+    # stop() is idempotent and safe without start().
+    server.stop()
+
+
+def test_shed_id_retention_is_bounded():
+    # Like unread results, shed-id bookkeeping must not grow forever on a
+    # long-lived server that repeatedly stops without draining.
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(8,), max_latency=5.0,
+                                        result_capacity=4))
+    first_batch = [server.submit(im) for im in _images(3, seed=34)]
+    server.stop(drain=False)
+    second_batch = [server.submit(im) for im in _images(4, seed=35)]
+    server.stop(drain=False)
+    assert len(server._shed_ids) <= 4
+    assert all(server.was_shed(rid) for rid in second_batch)  # newest kept
+    assert not server.was_shed(first_batch[0])                # oldest trimmed
+    assert server.metrics().shed == 7                         # counter exact
+
+
+def test_shed_wakes_blocked_waiters():
+    from repro.serve import RequestShed
+
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(8,), max_latency=5.0))
+    rid = server.submit(_images(1, seed=32)[0])
+    caught = []
+    waiter = threading.Thread(
+        target=lambda: caught.append(
+            pytest.raises(RequestShed, server.wait_result, rid, timeout=10.0)
+        )
+    )
+    waiter.start()
+    for _ in range(200):
+        with server._lock:
+            if rid in server._waiting:
+                break
+        import time
+        time.sleep(0.001)
+    server.stop(drain=False)
+    waiter.join(5.0)
+    assert not waiter.is_alive() and len(caught) == 1
+
+
+def test_admission_control_bounds_server_queue():
+    from repro.serve import QueueFull
+
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(8,), max_latency=5.0,
+                                        max_pending=2))
+    images = _images(4, seed=33)
+    accepted = [server.submit(im) for im in images[:2]]
+    with pytest.raises(QueueFull, match="max_pending"):
+        server.submit(images[2])
+    server.flush()            # draining frees capacity again
+    accepted.append(server.submit(images[3]))
+    server.flush()
+    assert all(server.result(rid) is not None for rid in accepted)
+    metrics = server.metrics()
+    assert metrics.rejected == 1 and metrics.completed == 3
+    with pytest.raises(ValueError, match="max_pending"):
+        ServerConfig(max_pending=0)
+
+
+# ---------------------------------------------------------------------------
 # Threaded mode: concurrent clients on the single-flight cache
 # ---------------------------------------------------------------------------
 

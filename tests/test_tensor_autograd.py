@@ -82,6 +82,35 @@ def test_no_grad_restores_state_after_exception():
     assert is_grad_enabled()
 
 
+def test_no_grad_is_thread_local():
+    # Regression: grad mode used to be a process-global flag, so two
+    # overlapping no_grad() blocks on different threads (e.g. two serving
+    # workers behind the multi-model router) could interleave their
+    # save/restore and leave recording disabled process-wide.
+    import threading
+
+    entered = threading.Barrier(3)  # two workers + the main thread
+    release = threading.Event()
+    seen = []
+
+    def worker():
+        with no_grad():
+            entered.wait(5.0)   # both threads are inside no_grad now
+            release.wait(5.0)
+            seen.append(is_grad_enabled())
+
+    threads = [threading.Thread(target=worker) for _ in range(2)]
+    for t in threads:
+        t.start()
+    entered.wait(5.0)           # deliberately overlap with both workers
+    assert is_grad_enabled()    # ...without affecting this thread
+    release.set()
+    for t in threads:
+        t.join()
+    assert seen == [False, False]
+    assert is_grad_enabled()    # and no worker's exit leaked state here
+
+
 def test_detach_cuts_graph():
     x = Tensor([2.0], requires_grad=True)
     y = (x * 3).detach()
