@@ -13,20 +13,51 @@ def full_mode() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
 
+def execution_env() -> dict:
+    """The execution-relevant environment a benchmark ran under.
+
+    Recorded in every result JSON so the perf comparator can refuse to diff
+    numbers produced by different kernel backends or pool sizes as if they
+    were the same experiment.
+    """
+    from repro.backend import REGISTRY, get_num_workers
+
+    backend = REGISTRY.resolve_name("conv2d", "default")
+    # num_workers is *configuration* only when explicitly pinned or when
+    # the active backend actually schedules on the pool; otherwise it just
+    # echoes os.cpu_count() — a machine property, which must not veto
+    # cross-machine ratio diffs in perf_compare's env guard.
+    configured = backend == "threaded" or bool(
+        os.environ.get("REPRO_NUM_WORKERS", "").strip()
+    )
+    return {
+        "backend": backend,
+        "num_workers": get_num_workers() if configured else None,
+        "host_cpus": os.cpu_count() or 1,
+    }
+
+
 def emit(report_name: str, text: str, data=None) -> str:
     """Print a report and persist it under benchmarks/results/.
 
     Every report is written twice: human-readable ``<name>.txt`` and
     machine-readable ``<name>.json`` so the perf trajectory can be tracked
     across PRs.  ``data`` is an optional JSON-serialisable payload (e.g. the
-    table rows); non-serialisable values degrade to their ``str()``.
+    table rows); non-serialisable values degrade to their ``str()``.  The
+    payload always carries an ``env`` block (active backend, worker count,
+    host CPUs) — see :func:`execution_env`.
     """
     banner = f"\n{'=' * 72}\n{report_name}\n{'=' * 72}\n"
     out = banner + text + "\n"
     print(out)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{report_name}.txt").write_text(out)
-    payload = {"name": report_name, "data": data, "text": text}
+    payload = {
+        "name": report_name,
+        "env": execution_env(),
+        "data": data,
+        "text": text,
+    }
     (RESULTS_DIR / f"{report_name}.json").write_text(
         json.dumps(payload, indent=2, default=str) + "\n"
     )

@@ -18,6 +18,13 @@ hit rates, throughput ratios), which are robust across machines — that is
 the mode CI runs, since the committed baselines come from a different box
 than the CI runner.
 
+Reports carry an ``env`` block (kernel backend, worker-pool size) written
+by ``common.emit``; when the current and baseline reports were produced by
+**different backends or pool sizes** the pair is skipped with a notice
+instead of being diffed — a ``threaded``-run report regressing against a
+``numpy`` baseline (or vice versa) is a configuration change, not a perf
+trajectory signal.
+
 Usage::
 
     python benchmarks/perf_compare.py --baseline-ref HEAD^ --ratios-only
@@ -126,6 +133,29 @@ def _load_json(text: str) -> dict | None:
         return None
 
 
+# env keys that must match for two reports to be comparable.  host_cpus is
+# deliberately absent: machine changes are what --ratios-only absorbs.
+_ENV_MATCH_KEYS = ("backend", "num_workers")
+
+
+def env_mismatch(current: dict, baseline: dict) -> str | None:
+    """Why two payloads must not be diffed, or None when comparable.
+
+    Reports written before the ``env`` block existed are grandfathered:
+    the guard only applies when *both* sides carry an env block, so the
+    first env-stamped run still diffs against its legacy baseline.
+    """
+    cur_env = current.get("env") or {}
+    base_env = baseline.get("env") or {}
+    if not cur_env or not base_env:
+        return None
+    for key in _ENV_MATCH_KEYS:
+        cur, base = cur_env.get(key), base_env.get(key)
+        if cur != base:
+            return f"{key} changed ({base!r} -> {cur!r})"
+    return None
+
+
 def baseline_from_git(ref: str, name: str) -> dict | None:
     """The committed report at ``ref``, or None if absent there."""
     rel = (RESULTS_DIR / name).relative_to(REPO_ROOT).as_posix()
@@ -176,6 +206,12 @@ def main(argv: list[str] | None = None) -> int:
             baseline_payload = baseline_from_git(args.baseline_ref, report.name)
         if baseline_payload is None:
             print(f"  {report.name}: no baseline (new benchmark?), skipped")
+            skipped += 1
+            continue
+        mismatch = env_mismatch(current_payload, baseline_payload)
+        if mismatch is not None:
+            print(f"  {report.name}: incomparable environments, skipped "
+                  f"({mismatch})")
             skipped += 1
             continue
         current = collect_metrics(current_payload.get("data"), ratios_only=args.ratios_only)

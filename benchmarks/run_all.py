@@ -34,6 +34,7 @@ from bench_ablation_vectorization import report_ablation_vectorization
 from bench_ablation_shift_scc import report_ablation_shift
 from bench_serving_batching import report_serving_batching
 from bench_multimodel_serving import report_multimodel_serving
+from bench_backend_scaling import report_backend_scaling
 
 REPORTS = [
     ("Table I", report_table1),
@@ -55,6 +56,7 @@ REPORTS = [
     ("Ablation: shift+scc", report_ablation_shift),
     ("Serving: bucketed batching", report_serving_batching),
     ("Serving: multi-model routing", report_multimodel_serving),
+    ("Backend: threaded scaling", report_backend_scaling),
 ]
 
 

@@ -12,7 +12,12 @@ Kernel registry (``repro.backend.registry``)
     ============  =======================================================
     reference     naive loop kernels; ground truth for every fast path
     numpy         einsum / ``as_strided`` fast paths fed by cached plans
-    default       auto-selects the preferred available backend (numpy)
+    threaded      numpy kernels sharded over the shared worker pool
+                  (``REPRO_NUM_WORKERS``); bitwise-identical to numpy
+    numba         optional JIT of the segment/tap loops; registers only
+                  when numba imports (bare containers fall back silently)
+    default       auto-selects the preferred available backend (numpy,
+                  or ``REPRO_BACKEND`` when set — with per-op fallback)
     ============  =======================================================
 
     Layers thread a ``backend=`` argument down to the dispatch
@@ -97,16 +102,41 @@ from repro.backend.plan import (
     scc_plan,
 )
 
+from repro.backend.parallel import (
+    default_num_workers,
+    get_num_workers,
+    num_workers,
+    parallel_map,
+    set_num_workers,
+)
+from repro.backend.registry import env_backend_order
+
 # Importing the backend modules registers their kernels.
 from repro.backend import numpy_backend as _numpy_backend  # noqa: F401
 from repro.backend import reference as _reference          # noqa: F401
+from repro.backend import threaded_backend as _threaded_backend  # noqa: F401
+from repro.backend import numba_backend as _numba_backend  # noqa: F401
+
+NUMBA_AVAILABLE = _numba_backend.NUMBA_AVAILABLE
+
+# REPRO_BACKEND overrides the "default" preference order (with silent
+# per-op fallback to numpy when the named backend is absent — see
+# env_backend_order).  Applied after registration so resolution is complete.
+REGISTRY.default_order = env_backend_order()
 
 __all__ = [
     "REGISTRY",
     "KernelRegistry",
     "available_backends",
+    "env_backend_order",
     "get_kernel",
     "register_kernel",
+    "NUMBA_AVAILABLE",
+    "default_num_workers",
+    "get_num_workers",
+    "num_workers",
+    "parallel_map",
+    "set_num_workers",
     "KernelStats",
     "scc_conflict_fraction",
     "PLAN_CACHE",

@@ -1,0 +1,188 @@
+"""The optional ``numba`` backend: JIT-compiled SCC segment/tap loops.
+
+Everything is gated on the ``numba`` import: in the project's bare-NumPy
+container the import fails, **nothing registers**, and backend selection
+(``REPRO_BACKEND=numba`` or ``backend="default"``) falls through the
+registry's preference order to ``numpy`` silently — a missing JIT must
+never break the build.  When numba *is* installed, the hot loops the
+``threaded`` backend shards — the SCC cycle-position segment loops and the
+conv2d data-grad tap scatter — run as ``@njit(parallel=True)`` kernels
+instead, and every other op aliases the ``numpy`` implementation so the
+backend is complete.
+
+Unlike ``threaded``, the JIT kernels re-associate reductions (a fused loop
+sums in a different order than a BLAS contraction), so outputs match the
+``numpy`` backend to float tolerance, **not** bitwise — tests compare with
+``allclose`` and skip when numba is absent.  Stats follow the fused-kernel
+convention of the DSXplore forward: zero materialised temporaries, one
+logical contraction per cycle position / tap.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # the container's bare-NumPy environment
+    njit = prange = None
+    NUMBA_AVAILABLE = False
+
+__all__ = ["NUMBA_AVAILABLE"]
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+    from repro.backend import numpy_backend
+    from repro.backend.plan import Conv2dPlan, SCCPlan
+    from repro.backend.registry import register_kernel
+    from repro.backend.stats import KernelStats
+
+    @njit(cache=True, parallel=True)
+    def _scc_forward_jit(x, w, windows, out):
+        n, _, h, wdt = x.shape
+        cout, gw = w.shape
+        for o in prange(cout):
+            for b in range(n):
+                for g in range(gw):
+                    c = windows[o, g]
+                    coeff = w[o, g]
+                    for y in range(h):
+                        for z in range(wdt):
+                            out[b, o, y, z] += coeff * x[b, c, y, z]
+
+    @njit(cache=True, parallel=True)
+    def _scc_backward_jit(grad_out, x, w, windows, grad_x, grad_w,
+                          need_x, need_w):
+        n, cout, h, wdt = grad_out.shape
+        gw = w.shape[1]
+        if need_w:
+            for o in prange(cout):
+                for g in range(gw):
+                    c = windows[o, g]
+                    acc = 0.0
+                    for b in range(n):
+                        for y in range(h):
+                            for z in range(wdt):
+                                acc += grad_out[b, o, y, z] * x[b, c, y, z]
+                    grad_w[o, g] = acc
+        if need_x:
+            # Pull design: one independent reduction per input cell, the
+            # numba analog of "one thread per input pixel, no atomics".
+            cin = x.shape[1]
+            for c in prange(cin):
+                for o in range(cout):
+                    for g in range(gw):
+                        if windows[o, g] == c:
+                            coeff = w[o, g]
+                            for b in range(n):
+                                for y in range(h):
+                                    for z in range(wdt):
+                                        grad_x[b, c, y, z] += (
+                                            coeff * grad_out[b, o, y, z]
+                                        )
+
+    @njit(cache=True, parallel=True)
+    def _conv_tap_scatter_jit(grad, weight, grad_xp, stride, og, cg):
+        n, cout, ho, wo = grad.shape
+        _, _, kh, kw = weight.shape
+        groups = cout // og
+        for g in prange(groups):
+            for b in range(n):
+                for oo in range(og):
+                    o = g * og + oo
+                    for cc in range(cg):
+                        c = g * cg + cc
+                        for i in range(kh):
+                            for j in range(kw):
+                                coeff = weight[o, cc, i, j]
+                                for y in range(ho):
+                                    for z in range(wo):
+                                        grad_xp[b, c, y * stride + i,
+                                                z * stride + j] += (
+                                            coeff * grad[b, o, y, z]
+                                        )
+
+    _STRATEGIES = ("channel_stack", "conv_stack", "dsxplore")
+
+    def _check_strategy(strategy: str) -> None:
+        # Same contract as the numpy/threaded backends: the fused JIT
+        # computes any strategy's math, but a typo'd name must still fail
+        # loudly rather than silently run (and mislabel) the fused kernel.
+        if strategy not in _STRATEGIES:
+            raise ValueError(
+                f"unknown SCC strategy {strategy!r}; available: "
+                f"{sorted(_STRATEGIES)}"
+            )
+
+    @register_kernel("scc_forward", "numba")
+    def scc_forward(plan: SCCPlan, x, w, *, strategy: str = "dsxplore",
+                    stats: KernelStats | None = None):
+        _check_strategy(strategy)
+        stats = stats if stats is not None else KernelStats()
+        cfg = plan.config
+        n, _, h, wdt = x.shape
+        out = np.zeros((n, cfg.out_channels, h, wdt), dtype=x.dtype)
+        _scc_forward_jit(x, np.asarray(w, dtype=x.dtype), plan.windows, out)
+        stats.record(gemm_calls=plan.cyclic_dist)  # fused-loop convention
+        return out, {"x": x, "w": w}
+
+    @register_kernel("scc_backward", "numba")
+    def scc_backward(plan: SCCPlan, saved, grad_out, *,
+                     strategy: str = "dsxplore",
+                     backward_design: str = "input_centric",
+                     need_input_grad: bool = True,
+                     need_weight_grad: bool = True,
+                     stats: KernelStats | None = None):
+        _check_strategy(strategy)
+        if backward_design not in ("input_centric", "output_centric"):
+            raise ValueError(
+                f"backward_design must be 'input_centric' or "
+                f"'output_centric', got {backward_design!r}"
+            )
+        stats = stats if stats is not None else KernelStats()
+        x, w = saved["x"], saved["w"]
+        grad_x = np.zeros_like(x) if need_input_grad else np.zeros((0, 0, 0, 0), x.dtype)
+        grad_w = np.zeros_like(w) if need_weight_grad else np.zeros((0, 0), w.dtype)
+        _scc_backward_jit(grad_out, x, w, plan.windows, grad_x, grad_w,
+                          need_input_grad, need_weight_grad)
+        stats.record(gemm_calls=plan.cyclic_dist)
+        return (grad_x if need_input_grad else None,
+                grad_w if need_weight_grad else None)
+
+    @register_kernel("conv2d", "numba")
+    def conv2d(plan: Conv2dPlan, x, weight):
+        return numpy_backend.conv2d(plan, x, weight)
+
+    @register_kernel("conv2d_backward", "numba")
+    def conv2d_backward(plan: Conv2dPlan, ctx, grad,
+                        need_input_grad=True, need_weight_grad=True):
+        xp, weight = ctx["xp"], ctx["w"]
+        if not need_input_grad:
+            return numpy_backend.conv2d_backward(
+                plan, ctx, grad, need_input_grad, need_weight_grad
+            )
+        # Weight grad via the planned einsum; data grad via the JIT scatter.
+        _, grad_w = numpy_backend.conv2d_backward(
+            plan, ctx, grad, need_input_grad=False,
+            need_weight_grad=need_weight_grad,
+        )
+        grad_xp = np.zeros_like(xp)
+        cout = weight.shape[0]
+        _conv_tap_scatter_jit(
+            grad, weight, grad_xp, plan.stride,
+            cout // plan.groups, xp.shape[1] // plan.groups,
+        )
+        padding = plan.padding
+        if padding:
+            grad_x = np.ascontiguousarray(
+                grad_xp[:, :, padding:-padding, padding:-padding]
+            )
+        else:
+            grad_x = grad_xp
+        return grad_x, grad_w
+
+    register_kernel("maxpool2d", "numba")(numpy_backend.maxpool2d)
+    register_kernel("maxpool2d_backward", "numba")(numpy_backend.maxpool2d_backward)
+    register_kernel("avgpool2d", "numba")(numpy_backend.avgpool2d)
+    register_kernel("avgpool2d_backward", "numba")(numpy_backend.avgpool2d_backward)

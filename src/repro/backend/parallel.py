@@ -1,0 +1,264 @@
+"""The process-wide worker pool behind the ``threaded`` backend.
+
+One lazily-created :class:`~concurrent.futures.ThreadPoolExecutor` is shared
+by every host-parallel consumer in the process — the ``threaded`` kernel
+backend (:mod:`repro.backend.threaded_backend`) and the multi-model serving
+router's cross-model batch overlap (:meth:`repro.serve.router.Router.flush`).
+Sizing follows ``REPRO_NUM_WORKERS`` when set, otherwise the host's CPU
+count; :func:`set_num_workers` (or the :func:`num_workers` context manager)
+re-sizes it at runtime.
+
+Three properties the kernel backend depends on:
+
+- **owner propagation** — :func:`parallel_map` captures the submitting
+  thread's :func:`~repro.backend.workload.plan_owner` tag and re-installs it
+  inside every task, so plan-cache traffic from pooled kernel shards is
+  still attributed to the right serving model;
+- **nested calls run inline** — a task already executing on the pool that
+  reaches another ``parallel_map`` (a router-overlapped batch whose model
+  forward hits a threaded kernel) runs that inner region serially on its
+  own worker instead of re-submitting, which both avoids pool-starvation
+  deadlock and expresses the right policy: model-level overlap outranks
+  kernel-level sharding;
+- **region tracing** — :func:`trace_parallel` records every region's
+  per-task wall times while forcing serial execution, so a benchmark on a
+  core-starved host can *measure* clean per-shard costs and *model* the
+  makespan at any worker count (:func:`makespan`). This is the same
+  measure-on-CPU/model-the-parallel-hardware move the gpusim makes for GPU
+  kernels, applied to the host pool itself.
+"""
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.backend.workload import current_plan_owner, plan_owner
+
+__all__ = [
+    "default_num_workers",
+    "get_num_workers",
+    "set_num_workers",
+    "num_workers",
+    "parallel_map",
+    "shard_slices",
+    "trace_parallel",
+    "RegionTrace",
+    "makespan",
+]
+
+_LOCK = threading.Lock()
+_EXECUTOR: ThreadPoolExecutor | None = None
+_EXECUTOR_WORKERS: int | None = None   # size the live executor was built with
+_NUM_WORKERS: int | None = None        # None = not resolved yet (env/cpu count)
+_IN_WORKER = threading.local()         # set while executing a pooled task
+
+# Region tracing (benchmark instrumentation; driver-thread use only).
+_TRACE_SINK: list | None = None
+
+
+def default_num_workers() -> int:
+    """``REPRO_NUM_WORKERS`` when set, else the host's CPU count (>= 1)."""
+    env = os.environ.get("REPRO_NUM_WORKERS", "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_NUM_WORKERS must be an integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(f"REPRO_NUM_WORKERS must be >= 1, got {value}")
+        return value
+    return max(1, os.cpu_count() or 1)
+
+
+def get_num_workers() -> int:
+    """The pool size parallel regions shard for (resolved lazily)."""
+    global _NUM_WORKERS
+    with _LOCK:
+        if _NUM_WORKERS is None:
+            _NUM_WORKERS = default_num_workers()
+        return _NUM_WORKERS
+
+
+def set_num_workers(workers: int) -> None:
+    """Re-size the shared pool; the executor is rebuilt on next use.
+
+    Safe against concurrent regions: the stale pool is shut down without
+    cancelling its queued tasks (in-flight regions finish there), and a
+    region caught mid-submission resumes its remaining tasks on the fresh
+    pool (see the retry loop in :func:`parallel_map`).
+    """
+    if workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {workers}")
+    global _NUM_WORKERS, _EXECUTOR, _EXECUTOR_WORKERS
+    with _LOCK:
+        _NUM_WORKERS = workers
+        stale, _EXECUTOR, _EXECUTOR_WORKERS = _EXECUTOR, None, None
+    if stale is not None:
+        stale.shutdown(wait=False)
+
+
+@contextmanager
+def num_workers(workers: int) -> Iterator[None]:
+    """Temporarily pin the pool size (tests, deterministic benchmark runs).
+
+    ``num_workers(1)`` is the serialisation switch: every parallel region
+    inside the block runs inline on the calling thread, which restores the
+    exact pre-pool execution order (used where determinism of shared-cache
+    access order matters more than overlap).
+    """
+    previous = get_num_workers()
+    set_num_workers(workers)
+    try:
+        yield
+    finally:
+        set_num_workers(previous)
+
+
+def _executor() -> ThreadPoolExecutor:
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    workers = get_num_workers()
+    with _LOCK:
+        if _EXECUTOR is None or _EXECUTOR_WORKERS != workers:
+            if _EXECUTOR is not None:
+                _EXECUTOR.shutdown(wait=False)
+            _EXECUTOR = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-worker"
+            )
+            _EXECUTOR_WORKERS = workers
+        return _EXECUTOR
+
+
+def shard_slices(total: int, parts: int) -> list[slice]:
+    """Split ``range(total)`` into at most ``parts`` balanced slices."""
+    parts = max(1, min(parts, total))
+    base, extra = divmod(total, parts)
+    slices, start = [], 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
+
+
+@dataclass
+class RegionTrace:
+    """One traced parallel region: what ran, and how long each task took."""
+
+    op: str
+    tasks: int
+    task_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.task_seconds)
+
+
+def makespan(task_seconds: Sequence[float], workers: int) -> float:
+    """LPT-scheduled completion time of ``task_seconds`` on ``workers`` lanes.
+
+    Longest-processing-time-first greedy assignment — the standard 4/3
+    bound — models what the pool achieves with ``workers`` unloaded cores.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    lanes = [0.0] * min(workers, max(1, len(task_seconds)))
+    for t in sorted(task_seconds, reverse=True):
+        lane = min(range(len(lanes)), key=lanes.__getitem__)
+        lanes[lane] += t
+    return max(lanes) if lanes else 0.0
+
+
+@contextmanager
+def trace_parallel() -> Iterator[list[RegionTrace]]:
+    """Record every parallel region run in the block, forcing serial execution.
+
+    Serial execution matters for what the trace means: on a host with fewer
+    free cores than workers, concurrently-scheduled shards time-slice one
+    core and each task's wall time is inflated by its neighbours.  Running
+    the shards back-to-back on the calling thread yields clean per-task
+    costs, from which :func:`makespan` models the region's completion time
+    at any worker count.  Driver-thread instrumentation only — not safe to
+    nest or to enable from concurrent threads.
+    """
+    global _TRACE_SINK
+    if _TRACE_SINK is not None:
+        raise RuntimeError("trace_parallel does not nest")
+    sink: list[RegionTrace] = []
+    _TRACE_SINK = sink
+    try:
+        yield sink
+    finally:
+        _TRACE_SINK = None
+
+
+def parallel_map(
+    fn: Callable[[Any], Any], items: Sequence[Any], op: str = "region"
+) -> list[Any]:
+    """Run ``fn`` over ``items``, on the shared pool when it can help.
+
+    Falls back to an inline serial loop when the region is trivial
+    (``<= 1`` task), the pool is sized to one worker, the caller is itself
+    a pooled task (nested regions run on their own worker — see module
+    docstring), or a :func:`trace_parallel` block is active.  The first
+    task exception propagates to the caller either way; in the pooled case
+    remaining tasks still run to completion first (futures are not
+    cancelled), so shared output buffers are never abandoned half-written
+    to a racing shard.
+    """
+    tasks = list(items)
+    if _TRACE_SINK is not None:
+        trace = RegionTrace(op=op, tasks=len(tasks))
+        _TRACE_SINK.append(trace)
+        results = []
+        for item in tasks:
+            start = time.perf_counter()
+            results.append(fn(item))
+            trace.task_seconds.append(time.perf_counter() - start)
+        return results
+    if (
+        len(tasks) <= 1
+        or getattr(_IN_WORKER, "active", False)
+        or get_num_workers() == 1
+    ):
+        return [fn(item) for item in tasks]
+
+    owner = current_plan_owner()
+
+    def run(item: Any) -> Any:
+        _IN_WORKER.active = True
+        try:
+            with plan_owner(owner):
+                return fn(item)
+        finally:
+            _IN_WORKER.active = False
+
+    # Exactly-once submission that survives a concurrent set_num_workers():
+    # a resize shuts the stale pool down (making further submits raise
+    # RuntimeError) but never cancels already-queued tasks, so on a raise we
+    # resume submitting the *remainder* on the fresh pool.
+    futures = []
+    remaining = list(tasks)
+    while remaining:
+        executor = _executor()
+        try:
+            while remaining:
+                futures.append(executor.submit(run, remaining[0]))
+                remaining.pop(0)
+        except RuntimeError:  # pool resized mid-loop: re-fetch and continue
+            continue
+    try:
+        return [future.result() for future in futures]
+    except BaseException:
+        # A shard failed: wait out the rest before propagating, so no
+        # worker is still writing a shared output buffer after the caller
+        # has resumed (and possibly reused or freed it).
+        concurrent.futures.wait(futures)
+        raise

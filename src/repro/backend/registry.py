@@ -18,10 +18,30 @@ order.  Backends self-register at import time via the
 """
 from __future__ import annotations
 
+import os
 from typing import Callable
 
 #: Auto-selection order for ``backend="default"``.
 DEFAULT_BACKEND_ORDER = ("numpy", "reference")
+
+
+def env_backend_order(
+    default_order: tuple[str, ...] = DEFAULT_BACKEND_ORDER,
+    env: str | None = None,
+) -> tuple[str, ...]:
+    """The ``default`` preference order, honouring ``REPRO_BACKEND``.
+
+    A set ``REPRO_BACKEND`` (e.g. ``threaded``, ``numba``) is *prepended*
+    to the base order rather than replacing it: resolution falls through to
+    the next registered backend per op, so ``REPRO_BACKEND=numba`` on a
+    host without numba (where the numba module registers nothing) silently
+    selects ``numpy`` instead of failing — an optional accelerator must
+    never break the bare container.
+    """
+    name = (os.environ.get("REPRO_BACKEND", "") if env is None else env).strip()
+    if not name or name == "default":
+        return default_order
+    return (name,) + tuple(b for b in default_order if b != name)
 
 
 class KernelRegistry:

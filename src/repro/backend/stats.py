@@ -9,7 +9,8 @@ bytes, contraction launches, scatter/atomic traffic).
 """
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 
 
 @dataclass
@@ -20,27 +21,69 @@ class KernelStats:
     scratch workspace reused from the plan cache still counts, because the
     quantity models the kernel's data-duplication traffic, not the
     allocator's behaviour.
+
+    **Threading contract.**  Kernels running on a single thread may bump
+    the fields directly (the ``numpy``/``reference`` backends do).  Any
+    concurrent mutation must go through the locked :meth:`record` /
+    :meth:`merge` / :meth:`reset` methods — in practice the ``threaded``
+    backend gives each pooled shard its own private ``KernelStats`` delta
+    and :meth:`merge`\\ s the deltas into the caller's object at join, so
+    totals stay exact (unlocked ``+=`` from worker threads would race and
+    lose updates).
     """
 
     bytes_materialized: int = 0      # temporary buffers (data duplication)
     gemm_calls: int = 0              # distinct contraction launches
     scatter_adds: int = 0            # elementwise updates via scatter (atomic analog)
     conflicting_scatter_adds: int = 0  # scatter updates hitting already-touched cells
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
+    def record(
+        self,
+        bytes_materialized: int = 0,
+        gemm_calls: int = 0,
+        scatter_adds: int = 0,
+        conflicting_scatter_adds: int = 0,
+    ) -> None:
+        """Atomically add deltas to the counters (safe from any thread)."""
+        with self._lock:
+            self.bytes_materialized += bytes_materialized
+            self.gemm_calls += gemm_calls
+            self.scatter_adds += scatter_adds
+            self.conflicting_scatter_adds += conflicting_scatter_adds
+
+    def merge(self, other: "KernelStats") -> None:
+        """Fold another stats object's counts into this one (atomic here).
+
+        The per-worker-delta join of the ``threaded`` backend: workers
+        mutate only their private delta, so reading ``other`` unlocked is
+        safe by the time the coordinator merges.
+        """
+        self.record(
+            other.bytes_materialized,
+            other.gemm_calls,
+            other.scatter_adds,
+            other.conflicting_scatter_adds,
+        )
 
     def reset(self) -> None:
-        self.bytes_materialized = 0
-        self.gemm_calls = 0
-        self.scatter_adds = 0
-        self.conflicting_scatter_adds = 0
+        with self._lock:
+            self.bytes_materialized = 0
+            self.gemm_calls = 0
+            self.scatter_adds = 0
+            self.conflicting_scatter_adds = 0
 
     def snapshot(self) -> "KernelStats":
         """Point-in-time copy (e.g. forward-only counters before backward)."""
-        return KernelStats(
-            self.bytes_materialized,
-            self.gemm_calls,
-            self.scatter_adds,
-            self.conflicting_scatter_adds,
-        )
+        with self._lock:
+            return KernelStats(
+                self.bytes_materialized,
+                self.gemm_calls,
+                self.scatter_adds,
+                self.conflicting_scatter_adds,
+            )
 
 
 def scc_conflict_fraction(in_channels: int, out_channels: int, group_width: int) -> float:

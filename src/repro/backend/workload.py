@@ -123,13 +123,18 @@ class PlanCache:
 
     **Ownership and eviction.**  Every access is attributed to the owner
     tag installed by :func:`plan_owner` on the calling thread (``None``
-    when untagged), and every resident entry remembers the owner that built
-    it.  :meth:`owner_stats` reports per-owner hit/miss/build/eviction/size
-    counts that sum exactly to the global :meth:`stats`.  Eviction is
-    *traffic-weighted* LRU: when the cache overflows, the victim is chosen
-    among the ``eviction_candidates`` least-recently-used entries as the
-    one whose owner has the least (exponentially decayed) traffic — so a
-    hot model's plans survive a cold model churning through the tail, while
+    when untagged), and every resident entry remembers an owner.  Entry
+    ownership *follows traffic*: the builder owns the entry initially, and
+    every hit re-tags it to the accessing owner — so a plan built by model
+    A but since consumed mostly by model B is shielded by B's (current)
+    traffic weight and charged to B when it is finally evicted, instead of
+    staying pinned to a builder that may have gone idle.  :meth:`owner_stats`
+    reports per-owner hit/miss/build/eviction/size counts that sum exactly
+    to the global :meth:`stats`.  Eviction is *traffic-weighted* LRU: when
+    the cache overflows, the victim is chosen among the
+    ``eviction_candidates`` least-recently-used entries as the one whose
+    owner has the least (exponentially decayed) traffic — so a hot model's
+    plans survive a cold model churning through the tail, while
     single-owner workloads degrade to exact LRU.
     """
 
@@ -216,6 +221,9 @@ class PlanCache:
                     self.hits += 1
                     self._record_access(owner, "hits")
                     self._plans.move_to_end(workload)
+                    # Re-ownership on hit: the entry now belongs to whoever
+                    # is actually consuming it (see class docstring).
+                    self._entry_owner[workload] = owner
                     return self._plans[workload]
                 if workload not in self._building:
                     # We own this build; everyone else arriving now waits.
@@ -296,7 +304,8 @@ class PlanCache:
 
     def owner_stats(self) -> dict[str | None, dict[str, int]]:
         """Per-owner accounting: hit/miss/build counts by *accessor*,
-        evictions and resident ``size`` by the owner that *built* the entry.
+        evictions and resident ``size`` by the entry's current owner (the
+        builder until the first hit re-tags it to the consuming owner).
 
         Each global counter in :meth:`stats` equals the sum of the matching
         per-owner counter (untagged traffic lands on the ``None`` owner), so

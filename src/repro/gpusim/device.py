@@ -31,6 +31,15 @@ class DeviceSpec:
     atomic_conflict_rate: float = 2.0e11   # serialised conflicting atomics/s
     interconnect_bandwidth: float = 2.5e10  # bytes/s per link (PCIe3 x16-ish)
     interconnect_latency: float = 1e-5     # seconds per transfer hop
+    # Host-pool scaling of the `threaded` kernel backend (Amdahl + per-worker
+    # coordination): serial_fraction is the unshardable share of a step
+    # (single-contraction kernels, pad/stage glue), coordination_cost the
+    # relative overhead each extra worker adds (task submit/join, shard
+    # imbalance).  Calibrated against the modelled worker sweep of
+    # bench_backend_scaling (conv-gpw + SCC workloads: ~3.1-3.4x at 4
+    # workers -> serial fraction ~= 0.04, coordination ~= 0.015).
+    host_serial_fraction: float = 0.04
+    host_coordination_cost: float = 0.015
 
     @property
     def cuda_cores(self) -> int:
@@ -39,6 +48,26 @@ class DeviceSpec:
     @property
     def max_resident_threads(self) -> int:
         return self.num_sms * self.max_threads_per_sm
+
+    def parallel_speedup(self, workers: int) -> float:
+        """Modelled speedup of the ``threaded`` host backend at ``workers``.
+
+        Amdahl's law with a linear coordination term:
+        ``1 / (s + (1 - s)/w + c * (w - 1))`` — monotone up to the point
+        where coordination overtakes the shrinking parallel share, exactly
+        the roll-off the measured scaling sweep shows.  Never below 1.0:
+        the backend falls back to inline execution rather than losing to
+        single-threaded numpy.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        s, c = self.host_serial_fraction, self.host_coordination_cost
+        return max(1.0, 1.0 / (s + (1.0 - s) / workers + c * (workers - 1)))
+
+    def parallel_efficiency(self, workers: int) -> float:
+        """``parallel_speedup(workers) / workers``: 1.0 at one worker,
+        decaying as the serial fraction and coordination cost bite."""
+        return self.parallel_speedup(workers) / workers
 
     def occupancy(self, threads: int) -> float:
         """Fraction of peak throughput a launch of ``threads`` can reach.

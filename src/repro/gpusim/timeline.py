@@ -6,6 +6,13 @@ workload additionally pays the host-side plan build
 cold-vs-warm deltas of ``bench_ablation_plan_cache``).  Steady-state steps
 (the default) run entirely on a warm plan cache, mirroring what
 :class:`repro.backend.ModelPlan` guarantees for the real kernels.
+
+``host_workers > 1`` models the ``threaded`` kernel backend: kernel time
+divides by :meth:`DeviceSpec.parallel_speedup` (Amdahl + coordination,
+calibrated on ``bench_backend_scaling``) while the plan-build charge stays
+serial — plan construction is single-flight in the real cache — so
+simulated cold/warm and 1-vs-N-worker deltas stay comparable with the
+measured ones.
 """
 from __future__ import annotations
 
@@ -29,11 +36,18 @@ class StepTime:
     plan_build: float = 0.0      # host-side plan construction (cold step only)
 
     @classmethod
-    def from_result(cls, result: SimulationResult, plan_build: float = 0.0) -> "StepTime":
+    def from_result(
+        cls,
+        result: SimulationResult,
+        plan_build: float = 0.0,
+        host_speedup: float = 1.0,
+    ) -> "StepTime":
+        """Kernel time divides by ``host_speedup``; the plan build (host-side,
+        single-flight, serial) does not."""
         return cls(
-            total=result.total_time + plan_build,
-            launch=result.launch_time,
-            atomic=result.atomic_time,
+            total=result.total_time / host_speedup + plan_build,
+            launch=result.launch_time / host_speedup,
+            atomic=result.atomic_time / host_speedup,
             num_launches=result.num_launches,
             result=result,
             plan_build=plan_build,
@@ -64,6 +78,7 @@ def training_step_time(
     scc_strategy: str = "dsxplore",
     scc_backward: str = "input_centric",
     cold_plans: bool = False,
+    host_workers: int = 1,
 ) -> StepTime:
     """Simulated fwd+bwd+update time for one mini-batch."""
     kernels = model_step_kernels(
@@ -71,7 +86,10 @@ def training_step_time(
         include_backward=True,
     )
     build = plan_build_time(shapes, batch, device) if cold_plans else 0.0
-    return StepTime.from_result(simulate_kernels(kernels, device), plan_build=build)
+    return StepTime.from_result(
+        simulate_kernels(kernels, device), plan_build=build,
+        host_speedup=device.parallel_speedup(host_workers),
+    )
 
 
 def inference_time(
@@ -80,13 +98,17 @@ def inference_time(
     device: DeviceSpec,
     scc_strategy: str = "dsxplore",
     cold_plans: bool = False,
+    host_workers: int = 1,
 ) -> StepTime:
     """Simulated forward-only latency for one batch."""
     kernels = model_step_kernels(
         shapes, batch, scc_strategy=scc_strategy, include_backward=False
     )
     build = plan_build_time(shapes, batch, device) if cold_plans else 0.0
-    return StepTime.from_result(simulate_kernels(kernels, device), plan_build=build)
+    return StepTime.from_result(
+        simulate_kernels(kernels, device), plan_build=build,
+        host_speedup=device.parallel_speedup(host_workers),
+    )
 
 
 def backward_only_time(

@@ -26,6 +26,18 @@ Driving mirrors :class:`Server`: synchronous (``submit``/``poll``/
 ``flush``) or threaded (``start``/``wait_result``/``stop``), and
 :meth:`Router.metrics` aggregates per-model p50/p95/throughput/hit-rate
 plus the shared cache's state into one :class:`RouterMetrics`.
+
+**Cross-model batch overlap.**  Synchronous ``flush``/``poll`` dispatch
+each model's drain onto the shared worker pool
+(:mod:`repro.backend.parallel`), so different models' batches execute
+concurrently instead of queueing behind one caller thread — each server
+still serialises its *own* batches on its ``_exec_lock`` (shared staging
+buffers), which is exactly the per-model chain the overlap model in
+``bench_multimodel_serving`` assumes.  Pass ``overlap=False`` (or size the
+pool to one worker) to restore the strictly serial drain: overlap
+interleaves the models' plan-cache access order, which is the right
+trade for throughput but not for experiments asserting deterministic
+eviction counts on a capacity-bound cache.
 """
 from __future__ import annotations
 
@@ -35,7 +47,7 @@ from typing import Callable, NamedTuple
 
 import numpy as np
 
-from repro.backend import PLAN_CACHE, plan_cache_stats, plan_owner
+from repro.backend import PLAN_CACHE, parallel_map, plan_cache_stats, plan_owner
 from repro.serve.server import RequestResult, Server, ServerConfig, ServingMetrics
 
 
@@ -88,15 +100,22 @@ class Router:
         default :class:`ServerConfig` for models registered without one.
     clock:
         time source handed to every server (injectable for tests).
+    overlap:
+        when ``True`` (default), synchronous ``flush``/``poll`` run each
+        model's drain on the shared worker pool so different models'
+        batches overlap; ``False`` drains strictly serially in
+        registration order (deterministic shared-cache access order).
     """
 
     def __init__(
         self,
         server_config: ServerConfig | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        overlap: bool = True,
     ) -> None:
         self._default_config = server_config
         self._clock = clock
+        self.overlap = overlap
         self._servers: dict[str, Server] = {}
         self._started = False
         self.reset_metrics()
@@ -182,12 +201,22 @@ class Router:
         return self._require(handle.model).was_shed(handle.request_id)
 
     def poll(self, now: float | None = None) -> int:
-        """Flush every model's due buckets; returns batches executed."""
-        return sum(server.poll(now) for server in self._servers.values())
+        """Flush every model's due buckets; returns batches executed.
+
+        With ``overlap`` enabled the per-model drains run on the shared
+        worker pool, so one slow model's batches no longer delay the rest.
+        """
+        return self._drain(lambda server: server.poll(now))
 
     def flush(self) -> int:
-        """Run every pending request of every model."""
-        return sum(server.flush() for server in self._servers.values())
+        """Run every pending request of every model (overlapped when enabled)."""
+        return self._drain(lambda server: server.flush())
+
+    def _drain(self, drain_one: Callable[[Server], int]) -> int:
+        servers = list(self._servers.values())
+        if self.overlap:
+            return sum(parallel_map(drain_one, servers, op="router.drain"))
+        return sum(drain_one(server) for server in servers)
 
     # -- threaded mode ---------------------------------------------------------
 

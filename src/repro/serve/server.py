@@ -89,6 +89,7 @@ class ServingMetrics:
     mean_bucket_fill: float      # real requests / padded bucket slots
     rejected: int = 0            # submits refused by admission control
     shed: int = 0                # pending requests dropped by stop(drain=False)
+    exec_seconds_total: float = 0.0  # summed batch execution time (busy time)
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -228,6 +229,12 @@ class Server:
             self._batch_records: deque[tuple[int, int]] = deque(  # (requests, bucket)
                 maxlen=self.config.metrics_window
             )
+            # Per-batch wall execution times (stage + forward), measured on
+            # the real clock regardless of an injected test clock: the
+            # router's cross-model overlap model consumes these.
+            self._exec_seconds: deque[float] = deque(
+                maxlen=self.config.metrics_window
+            )
             self._window_started: float | None = None
             self._window_finished: float | None = None
             self._cache_base = self._cache_counters()
@@ -276,6 +283,7 @@ class Server:
                 mean_bucket_fill=real / padded if padded else 0.0,
                 rejected=self._rejected,
                 shed=self._shed,
+                exec_seconds_total=sum(self._exec_seconds),
             )
 
     # -- request lifecycle ----------------------------------------------------
@@ -329,6 +337,12 @@ class Server:
         """(first submit, last completion) clock readings of this window."""
         with self._lock:
             return self._window_started, self._window_finished
+
+    def exec_seconds(self) -> list[float]:
+        """Per-batch execution wall times of this window (most recent
+        ``metrics_window``); the router's overlap model consumes these."""
+        with self._lock:
+            return list(self._exec_seconds)
 
     def poll(self, now: float | None = None) -> int:
         """Flush every bucket whose oldest request has exceeded the deadline
@@ -440,9 +454,11 @@ class Server:
         bucket = self.config.bucket_for(n)
         plan = self._plan_for(shape, bucket)
         with self._exec_lock:
+            exec_start = time.perf_counter()
             batch = plan.stage_batch(np.stack([r.image for r in requests]))
             with no_grad(), plan_owner(self.name):
                 out = self.model(Tensor(batch)).data
+            exec_seconds = time.perf_counter() - exec_start
             done = self.clock()
         with self._cond:
             for i, request in enumerate(requests):
@@ -465,6 +481,7 @@ class Server:
                     if rid not in self._waiting:
                         del self._results[rid]
             self._batch_records.append((n, bucket))
+            self._exec_seconds.append(exec_seconds)
             self._window_finished = done
             self._cond.notify_all()
 

@@ -47,12 +47,21 @@ def test_registry_has_reference_and_numpy_for_every_op():
         assert {"numpy", "reference"} <= set(available_backends(op)), op
 
 
-def test_default_backend_resolves_to_numpy():
+def test_default_backend_follows_preference_order():
+    import os
+
     from repro.backend import REGISTRY
 
     for op in CORE_OPS:
-        assert REGISTRY.resolve_name(op, "default") == "numpy"
-        assert get_kernel(op) is get_kernel(op, "numpy")
+        expected = next(
+            name for name in REGISTRY.default_order
+            if name in REGISTRY.backends(op)
+        )
+        assert get_kernel(op) is get_kernel(op, expected)
+        if not os.environ.get("REPRO_BACKEND"):
+            # Without an env override the default is the numpy fast path.
+            assert REGISTRY.resolve_name(op, "default") == "numpy"
+            assert get_kernel(op) is get_kernel(op, "numpy")
 
 
 def test_registry_unknown_op_and_backend_rejected():

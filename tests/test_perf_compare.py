@@ -7,7 +7,13 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
 
-from perf_compare import collect_metrics, compare, main, metric_direction
+from perf_compare import (
+    collect_metrics,
+    compare,
+    env_mismatch,
+    main,
+    metric_direction,
+)
 
 
 def test_metric_direction_classification():
@@ -79,9 +85,26 @@ def test_compare_ignores_missing_and_new_metrics():
     assert compare(current, baseline, threshold=0.20) == []
 
 
-def _write_report(directory: Path, name: str, rows):
+def test_env_mismatch_refuses_cross_backend_diffs():
+    numpy_env = {"env": {"backend": "numpy", "num_workers": 1, "host_cpus": 4}}
+    threaded_env = {"env": {"backend": "threaded", "num_workers": 4}}
+    assert env_mismatch(numpy_env, dict(numpy_env)) is None
+    assert "backend" in env_mismatch(threaded_env, numpy_env)
+    assert "num_workers" in env_mismatch(
+        {"env": {"backend": "numpy", "num_workers": 2}}, numpy_env)
+    # host_cpus is a machine property, not a configuration: ignored.
+    other_host = {"env": {"backend": "numpy", "num_workers": 1, "host_cpus": 96}}
+    assert env_mismatch(other_host, numpy_env) is None
+    # Legacy reports without an env block are grandfathered on either side.
+    assert env_mismatch({}, numpy_env) is None
+    assert env_mismatch(threaded_env, {}) is None
+
+
+def _write_report(directory: Path, name: str, rows, env=None):
     directory.mkdir(parents=True, exist_ok=True)
     payload = {"name": name, "data": {"rows": rows}, "text": ""}
+    if env is not None:
+        payload["env"] = env
     (directory / f"{name}.json").write_text(json.dumps(payload))
 
 
@@ -99,6 +122,20 @@ def test_main_directory_mode_pass_and_fail(tmp_path, capsys):
                  "--results-dir", str(current_dir)]) == 1
     out = capsys.readouterr().out
     assert "PERF REGRESSIONS" in out and "speedup" in out
+
+
+def test_main_skips_incomparable_environments(tmp_path, capsys):
+    current_dir = tmp_path / "current"
+    baseline_dir = tmp_path / "baseline"
+    _write_report(baseline_dir, "bench", [{"workload": "w", "speedup": 2.0}],
+                  env={"backend": "numpy", "num_workers": 1})
+    # A huge "regression" measured under a different backend is a config
+    # change, not a perf signal: the pair must be skipped, not failed.
+    _write_report(current_dir, "bench", [{"workload": "w", "speedup": 0.5}],
+                  env={"backend": "threaded", "num_workers": 4})
+    assert main(["--baseline-dir", str(baseline_dir),
+                 "--results-dir", str(current_dir)]) == 0
+    assert "incomparable environments" in capsys.readouterr().out
 
 
 def test_main_skips_reports_without_baseline(tmp_path):

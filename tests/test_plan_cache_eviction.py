@@ -154,6 +154,50 @@ def test_traffic_decay_lets_a_gone_cold_owner_lose_protection():
 
 
 # ---------------------------------------------------------------------------
+# Entry re-ownership on hit: shared workloads follow their consumers
+# ---------------------------------------------------------------------------
+
+def test_entry_reowned_on_hit_protects_shared_workload():
+    # A plan built by one model but since hit mostly by another must be
+    # shielded by the *consumer's* traffic: ownership re-tags on access.
+    cache = PlanCache(maxsize=4)
+    fill(cache, [0], owner="builder")
+    with plan_owner("consumer"):                # the actual hot consumer
+        for _ in range(50):
+            cache.get_or_build(wl(0), lambda: "never rebuilt")
+    fill(cache, [1, 2, 3], owner="builder")     # cache now full
+    fill(cache, [4, 5], owner="builder")        # overflow twice
+    assert wl(0) in cache                       # consumer traffic shields it
+    owners = cache.owner_stats()
+    assert owners["consumer"]["size"] == 1      # entry followed the consumer
+    assert owners["builder"]["evictions"] == 2  # builder's own churn paid
+    assert owners["consumer"]["evictions"] == 0
+
+
+def test_eviction_charged_to_current_owner_after_retag():
+    cache = PlanCache(maxsize=2)
+    fill(cache, [0], owner="a")
+    with plan_owner("b"):
+        cache.get_or_build(wl(0), lambda: "x")  # one touch re-tags a -> b
+    fill(cache, [1, 2], owner="a")              # overflow: victim is b's now
+    owners = cache.owner_stats()
+    assert wl(0) not in cache
+    assert owners["b"]["evictions"] == 1
+    assert owners["a"]["evictions"] == 0
+
+
+def test_untagged_hit_releases_entry_to_the_none_owner():
+    # Re-ownership is symmetric: an untagged client touching a served plan
+    # moves it to the None owner (and None traffic then weighs for it).
+    cache = PlanCache(maxsize=4)
+    fill(cache, [0], owner="served")
+    cache.get_or_build(wl(0), lambda: "x")      # untagged accessor
+    owners = cache.owner_stats()
+    assert owners[None]["size"] == 1
+    assert owners["served"]["size"] == 0
+
+
+# ---------------------------------------------------------------------------
 # Per-owner stats reconcile with the global counters
 # ---------------------------------------------------------------------------
 
