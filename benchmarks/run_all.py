@@ -35,6 +35,7 @@ from bench_ablation_shift_scc import report_ablation_shift
 from bench_serving_batching import report_serving_batching
 from bench_multimodel_serving import report_multimodel_serving
 from bench_backend_scaling import report_backend_scaling
+from bench_tiled_gemm import report_tiled_gemm
 
 REPORTS = [
     ("Table I", report_table1),
@@ -57,6 +58,7 @@ REPORTS = [
     ("Serving: bucketed batching", report_serving_batching),
     ("Serving: multi-model routing", report_multimodel_serving),
     ("Backend: threaded scaling", report_backend_scaling),
+    ("Backend: tiled contractions", report_tiled_gemm),
 ]
 
 

@@ -92,14 +92,28 @@ from repro.backend.workload import (
 from repro.backend.model_plan import ModelPlan, PlannedLayer, layer_workload
 from repro.backend.plan import (
     Conv2dPlan,
+    EpilogueArgs,
+    EpilogueSpec,
+    FusedConv2dPlan,
     Pool2dPlan,
     SCCPlan,
+    combine_partials_tree,
     contraction_path,
+    conv2d_fused_plan,
     conv2d_plan,
     conv_out_size,
     planned_einsum,
     pool2d_plan,
     scc_plan,
+)
+from repro.backend.schedule import (
+    TileSchedule,
+    precision,
+    precision_tier,
+    schedule_table,
+    set_precision_tier,
+    tile_override,
+    tile_slices,
 )
 
 from repro.backend.parallel import (
@@ -151,12 +165,24 @@ __all__ = [
     "PlannedLayer",
     "layer_workload",
     "Conv2dPlan",
+    "EpilogueArgs",
+    "EpilogueSpec",
+    "FusedConv2dPlan",
     "Pool2dPlan",
     "SCCPlan",
+    "combine_partials_tree",
     "contraction_path",
+    "conv2d_fused_plan",
     "conv2d_plan",
     "conv_out_size",
     "planned_einsum",
     "pool2d_plan",
     "scc_plan",
+    "TileSchedule",
+    "precision",
+    "precision_tier",
+    "schedule_table",
+    "set_precision_tier",
+    "tile_override",
+    "tile_slices",
 ]

@@ -117,7 +117,7 @@ if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installe
 
     @register_kernel("scc_forward", "numba")
     def scc_forward(plan: SCCPlan, x, w, *, strategy: str = "dsxplore",
-                    stats: KernelStats | None = None):
+                    stats: KernelStats | None = None, epilogue=None):
         _check_strategy(strategy)
         stats = stats if stats is not None else KernelStats()
         cfg = plan.config
@@ -125,6 +125,8 @@ if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installe
         out = np.zeros((n, cfg.out_channels, h, wdt), dtype=x.dtype)
         _scc_forward_jit(x, np.asarray(w, dtype=x.dtype), plan.windows, out)
         stats.record(gemm_calls=plan.cyclic_dist)  # fused-loop convention
+        if epilogue is not None:
+            epilogue.apply(out)
         return out, {"x": x, "w": w}
 
     @register_kernel("scc_backward", "numba")

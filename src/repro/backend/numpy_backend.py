@@ -15,8 +15,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.backend.plan import Conv2dPlan, Pool2dPlan, SCCPlan, planned_einsum
+from repro.backend.plan import (
+    Conv2dPlan,
+    EpilogueArgs,
+    FusedConv2dPlan,
+    Pool2dPlan,
+    SCCPlan,
+    combine_partials_tree,
+    planned_einsum,
+)
 from repro.backend.registry import register_kernel
+from repro.backend.schedule import (
+    effective_gradw_tile,
+    effective_k_tile,
+    effective_pull_tile,
+    tile_slices,
+)
 from repro.backend.stats import KernelStats, scc_conflict_fraction
 
 
@@ -51,6 +65,46 @@ def _pad2d(x: np.ndarray, padding: int, **kwargs) -> np.ndarray:
 # conv2d
 # ---------------------------------------------------------------------------
 
+def dense_fwd_partial(patches: np.ndarray, weight: np.ndarray, sl: slice) -> np.ndarray:
+    """One input-channel tile of the dense forward contraction.
+
+    Shared verbatim by the ``numpy`` and ``threaded`` backends: identical
+    einsum call, identical operand views, path served from the plan cache —
+    the per-tile results are bitwise-equal across backends by construction.
+    """
+    return planned_einsum("nchwij,ocij->nohw", patches[:, sl], weight[:, sl])
+
+
+def dense_gradw_partial(grad: np.ndarray, patches: np.ndarray, sl: slice) -> np.ndarray:
+    """One batch tile of the dense grad-weight contraction (see above)."""
+    return planned_einsum("nohw,nchwij->ocij", grad[sl], patches[sl])
+
+
+def pull_gemm_partial(grad_out: np.ndarray, w_full: np.ndarray, sl: slice) -> np.ndarray:
+    """One contracted output-channel tile of the SCC pull-GEMM (see above)."""
+    return planned_einsum("nohw,oc->nchw", grad_out[:, sl], w_full[sl])
+
+
+def _dense_forward(plan: Conv2dPlan, patches: np.ndarray, weight: np.ndarray):
+    """Dense (groups == 1) forward: tiled canonical order, serial tiles."""
+    k_slices = tile_slices(plan.x_shape[1], effective_k_tile(plan.k_tile))
+    if len(k_slices) == 1:
+        return np.einsum("nchwij,ocij->nohw", patches, weight, optimize=plan.fwd_path)
+    return combine_partials_tree(
+        [dense_fwd_partial(patches, weight, sl) for sl in k_slices]
+    )
+
+
+def _dense_gradw(plan: Conv2dPlan, grad: np.ndarray, patches: np.ndarray):
+    """Dense (groups == 1) grad-weight: batch-tiled canonical order."""
+    n_slices = tile_slices(grad.shape[0], effective_gradw_tile(plan.gradw_tile))
+    if len(n_slices) == 1:
+        return np.einsum("nohw,nchwij->ocij", grad, patches, optimize=plan.gradw_path)
+    return combine_partials_tree(
+        [dense_gradw_partial(grad, patches, sl) for sl in n_slices]
+    )
+
+
 @register_kernel("conv2d", "numpy")
 def conv2d(plan: Conv2dPlan, x: np.ndarray, weight: np.ndarray):
     kh, kw = plan.kernel
@@ -58,7 +112,7 @@ def conv2d(plan: Conv2dPlan, x: np.ndarray, weight: np.ndarray):
     patches = _patch_view(xp, kh, kw, plan.stride)
     groups = plan.groups
     if groups == 1:
-        out = np.einsum("nchwij,ocij->nohw", patches, weight, optimize=plan.fwd_path)
+        out = _dense_forward(plan, patches, weight)
     else:
         n, cout = plan.out_shape[0], plan.out_shape[1]
         out = np.empty(plan.out_shape, dtype=x.dtype)
@@ -94,11 +148,14 @@ def conv2d_backward(
     grad_w = np.zeros_like(weight) if need_weight_grad else None
     grad_xp = np.zeros_like(xp) if need_input_grad else None
 
+    if need_weight_grad and groups == 1:
+        grad_w[:] = _dense_gradw(plan, grad, patches)
+
     for g in range(groups):
         gsl = slice(g * og, (g + 1) * og)
         csl = slice(g * cg, (g + 1) * cg)
         gout = grad[:, gsl]
-        if need_weight_grad:
+        if need_weight_grad and groups > 1:
             grad_w[gsl] = np.einsum(
                 "nohw,nchwij->ocij", gout, patches[:, csl], optimize=plan.gradw_path
             )
@@ -125,6 +182,38 @@ def conv2d_backward(
         else:
             grad_x = grad_xp
     return grad_x, grad_w
+
+
+@register_kernel("conv2d_fused", "numpy")
+def conv2d_fused(
+    fplan: FusedConv2dPlan, x: np.ndarray, weight: np.ndarray, epilogue: EpilogueArgs
+):
+    """Inference-only conv2d with its staged epilogue applied per output
+    slab while it is cache-hot — no intermediate bias/BN/activation tensors
+    are materialized.  Returns the output only (no backward context)."""
+    plan = fplan.base
+    kh, kw = plan.kernel
+    xp = _pad2d(x, plan.padding)
+    patches = _patch_view(xp, kh, kw, plan.stride)
+    groups = plan.groups
+    if groups == 1:
+        out = _dense_forward(plan, patches, weight)
+        epilogue.apply(out)
+    else:
+        n, cout = plan.out_shape[0], plan.out_shape[1]
+        out = np.empty(plan.out_shape, dtype=x.dtype)
+        og = cout // groups
+        cg = plan.x_shape[1] // groups
+        for g in range(groups):
+            gsl = slice(g * og, (g + 1) * og)
+            out[:, gsl] = np.einsum(
+                "nchwij,ocij->nohw",
+                patches[:, g * cg : (g + 1) * cg],
+                weight[gsl],
+                optimize=plan.fwd_path,
+            )
+            epilogue.apply(out[:, gsl], gsl)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -186,7 +275,7 @@ def _count_push_scatter(plan: SCCPlan, stats: KernelStats, total_updates: int) -
     stats.conflicting_scatter_adds += int(total_updates * fraction)
 
 
-def _channel_stack_forward(plan, x, w, stats):
+def _channel_stack_forward(plan, x, w, stats, epilogue=None):
     # Steps 1-3 of Pytorch-Base: one fancy-index gather == slice+concat of
     # every window into the (N, Cout, gw, H, W) stacked tensor.
     stacked = x[:, plan.windows]
@@ -194,6 +283,8 @@ def _channel_stack_forward(plan, x, w, stats):
     stats.gemm_calls += 1
     # Step 4: grouped convolution with groups == Cout.
     out = planned_einsum("noghw,og->nohw", stacked, w)
+    if epilogue is not None:
+        epilogue.apply(out)
     return out, {"x": x, "w": w, "stacked": stacked}
 
 
@@ -216,7 +307,7 @@ def _channel_stack_backward(plan, saved, grad_out, need_x, need_w, stats):
     return grad_x, grad_w
 
 
-def _conv_stack_forward(plan, x, w, stats):
+def _conv_stack_forward(plan, x, w, stats, epilogue=None):
     cfg = plan.config
     cd = plan.cyclic_dist
     n, _, h, wdt = x.shape
@@ -228,6 +319,8 @@ def _conv_stack_forward(plan, x, w, stats):
         gathered.append(win)
         out[:, p::cd] = planned_einsum("nghw,og->nohw", win, w[p::cd])
         stats.gemm_calls += 1
+        if epilogue is not None:
+            epilogue.apply(out[:, p::cd], slice(p, None, cd))
     return out, {"x": x, "w": w, "gathered": gathered}
 
 
@@ -255,7 +348,7 @@ def _conv_stack_backward(plan, saved, grad_out, need_x, need_w, stats):
     return grad_x, grad_w
 
 
-def _dsxplore_forward(plan, x, w, stats):
+def _dsxplore_forward(plan, x, w, stats, epilogue=None):
     cfg = plan.config
     cd = plan.cyclic_dist
     n, _, h, wdt = x.shape
@@ -268,7 +361,20 @@ def _dsxplore_forward(plan, x, w, stats):
                 "nchw,oc->nohw", x[:, chan_slice], wp[:, col_slice]
             )
             stats.gemm_calls += 1
+        if epilogue is not None:
+            epilogue.apply(out[:, p::cd], slice(p, None, cd))
     return out, {"x": x, "w": w}
+
+
+def _pull_gemm(plan: SCCPlan, grad_out: np.ndarray, w_full: np.ndarray) -> np.ndarray:
+    """The input-centric pull-GEMM, tiled over the contracted output-channel
+    axis in the canonical order (shared partials + fixed pairwise tree)."""
+    o_slices = tile_slices(w_full.shape[0], effective_pull_tile(plan.pull_tile))
+    if len(o_slices) == 1:
+        return planned_einsum("nohw,oc->nchw", grad_out, w_full)
+    return combine_partials_tree(
+        [pull_gemm_partial(grad_out, w_full, sl) for sl in o_slices]
+    )
 
 
 def _dsxplore_backward(plan, saved, grad_out, need_x, need_w, stats, backward_design):
@@ -296,7 +402,7 @@ def _dsxplore_backward(plan, saved, grad_out, need_x, need_w, stats, backward_de
             # workspace comes from the plan cache (refilled, not rebuilt).
             w_full = plan.w_full(w)
             stats.bytes_materialized += w_full.nbytes
-            grad_x = planned_einsum("nohw,oc->nchw", grad_out, w_full)
+            grad_x = _pull_gemm(plan, grad_out, w_full)
             stats.gemm_calls += 1
             grad_x = grad_x.astype(x.dtype, copy=False)
         else:
@@ -331,6 +437,7 @@ def scc_forward(
     *,
     strategy: str = "dsxplore",
     stats: KernelStats | None = None,
+    epilogue: EpilogueArgs | None = None,
 ):
     try:
         fwd = _FORWARD[strategy]
@@ -338,7 +445,9 @@ def scc_forward(
         raise ValueError(
             f"unknown SCC strategy {strategy!r}; available: {sorted(_FORWARD)}"
         ) from None
-    return fwd(plan, x, w, stats if stats is not None else KernelStats())
+    return fwd(
+        plan, x, w, stats if stats is not None else KernelStats(), epilogue=epilogue
+    )
 
 
 @register_kernel("scc_backward", "numpy")

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.backend.schedule import conv_schedule, pull_tile_for
 from repro.backend.workload import PLAN_CACHE, Workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -72,6 +73,38 @@ def planned_einsum(subscripts: str, *operands: np.ndarray) -> np.ndarray:
 
 
 # ---------------------------------------------------------------------------
+# Tiled contractions: the canonical fixed-order pairwise combine
+# ---------------------------------------------------------------------------
+
+def combine_partials_tree(partials: list[np.ndarray]) -> np.ndarray:
+    """Combine per-tile partial products in a fixed pairwise-tree order.
+
+    ``((p0 + p1) + (p2 + p3)) + ...`` — adjacent pairs per level, an odd
+    tail carried unchanged.  The order depends only on the *number* of
+    tiles, never on worker count or completion order, so it defines the
+    canonical result of a tiled contraction: the ``numpy`` backend combines
+    serially-computed tiles this way and the ``threaded`` backend combines
+    pool-computed tiles the same way, keeping the two bitwise-identical at
+    every tile size and every ``REPRO_NUM_WORKERS``.
+
+    Combines in place into the even-indexed partials (each partial is an
+    owned einsum output, never a view of caller data).
+    """
+    parts = list(partials)
+    if not parts:
+        raise ValueError("combine_partials_tree needs at least one partial")
+    while len(parts) > 1:
+        merged = []
+        for i in range(0, len(parts) - 1, 2):
+            np.add(parts[i], parts[i + 1], out=parts[i])
+            merged.append(parts[i])
+        if len(parts) % 2:
+            merged.append(parts[-1])
+        parts = merged
+    return parts[0]
+
+
+# ---------------------------------------------------------------------------
 # Convolution plans
 # ---------------------------------------------------------------------------
 
@@ -89,6 +122,13 @@ class Conv2dPlan:
     fwd_path: list            # patches x weight -> out (per group)
     gradw_path: list          # grad x patches -> grad_w (per group)
     gradx_path: list          # grad x weight tap -> grad_x contribution
+    # Tile schedule (repro.backend.schedule): the input-channel tile of the
+    # dense forward and the batch tile of the dense grad-weight, resolved
+    # from the per-workload schedule table at plan build.  0 = untiled.
+    # Kernels resolve the *effective* tile at call time (an active
+    # tile_override wins), so tiles never leak into cache keys.
+    k_tile: int = 0
+    gradw_tile: int = 0
 
     @property
     def kernel(self) -> tuple[int, int]:
@@ -111,6 +151,7 @@ def _build_conv2d_plan(wl: Workload) -> Conv2dPlan:
     wo = conv_out_size(w, kw, stride, padding)
     og = cout // groups
     patch_shape = (n, cin_g, ho, wo, kh, kw)   # per-group patch view
+    sched = conv_schedule(x_shape, w_shape, stride, groups)
     return Conv2dPlan(
         x_shape=x_shape,
         w_shape=w_shape,
@@ -128,6 +169,8 @@ def _build_conv2d_plan(wl: Workload) -> Conv2dPlan:
         gradx_path=_build_path(
             "nohw,oc->nchw", ((n, og, ho, wo), (og, cin_g)), wl.dtype
         ),
+        k_tile=sched.k_tile,
+        gradw_tile=sched.gradw_tile,
     )
 
 
@@ -138,6 +181,117 @@ def conv2d_plan(
         "conv2d", x_shape, w_shape, dtype, stride=stride, padding=padding, groups=groups
     )
     return PLAN_CACHE.get_or_build(wl, lambda: _build_conv2d_plan(wl))
+
+
+# ---------------------------------------------------------------------------
+# Fused plans: staged conv -> bias -> BN-affine -> activation epilogues
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EpilogueSpec:
+    """The *static* shape of a fused epilogue — part of the fused plan key.
+
+    Which stages exist (bias add, eval-mode BN affine, which activation) is
+    static per layer; the parameter *values* arrive per call as an
+    :class:`EpilogueArgs`.
+    """
+
+    bias: bool = False
+    affine: bool = False              # BN eval affine: (x - mean) * scale + beta
+    activation: str | None = None     # None | "relu" | "relu6"
+
+    def __post_init__(self) -> None:
+        if self.activation not in (None, "relu", "relu6"):
+            raise ValueError(
+                f"activation must be None, 'relu' or 'relu6', got "
+                f"{self.activation!r}"
+            )
+
+    @property
+    def stages(self) -> int:
+        """Fused elementwise stages (for the gpusim fusion term)."""
+        return int(self.bias) + int(self.affine) + int(self.activation is not None)
+
+
+@dataclass
+class EpilogueArgs:
+    """Per-call epilogue operands, broadcast-shaped ``(1, C, 1, 1)``.
+
+    :meth:`apply` replays, **in place on an output slab**, exactly the
+    elementwise op sequence the unfused layer stack composes — bias add,
+    then the eval-mode BN affine in its ``(x - mean) * scale + beta`` order,
+    then the activation as the autograd ops compute it (``relu`` is
+    ``x * (x > 0)``; ``relu6`` is the literal ``6 - relu(6 - relu(x))``
+    sequence).  Elementwise ops are bitwise-insensitive to slab
+    partitioning, so fused output == unfused output bit-for-bit.
+    """
+
+    bias: np.ndarray | None = None
+    mean: np.ndarray | None = None
+    scale: np.ndarray | None = None
+    beta: np.ndarray | None = None
+    activation: str | None = None
+
+    def apply(self, out: np.ndarray, ch: slice = slice(None)) -> None:
+        """Apply the epilogue in place to ``out``, an output slab holding
+        the channels selected by ``ch`` (a slice into the full channel
+        axis, matching how the per-channel operands are indexed)."""
+        if self.bias is not None:
+            np.add(out, self.bias[:, ch], out=out)
+        if self.scale is not None:
+            np.subtract(out, self.mean[:, ch], out=out)
+            np.multiply(out, self.scale[:, ch], out=out)
+            np.add(out, self.beta[:, ch], out=out)
+        if self.activation == "relu":
+            np.multiply(out, out > 0, out=out)
+        elif self.activation == "relu6":
+            six = np.asarray(6.0, dtype=out.dtype)
+            np.multiply(out, out > 0, out=out)
+            np.subtract(six, out, out=out)
+            np.multiply(out, out > 0, out=out)
+            np.subtract(six, out, out=out)
+
+    def spec(self) -> EpilogueSpec:
+        return EpilogueSpec(
+            bias=self.bias is not None,
+            affine=self.scale is not None,
+            activation=self.activation,
+        )
+
+
+@dataclass(frozen=True)
+class FusedConv2dPlan:
+    """A conv2d plan that has learned its staged epilogue.
+
+    Distinct cache entries per epilogue shape: a model serving both a fused
+    and an unfused instance of one geometry keeps both plans resident.
+    """
+
+    base: Conv2dPlan
+    spec: EpilogueSpec
+
+
+def conv2d_fused_plan(
+    x_shape: tuple,
+    w_shape: tuple,
+    stride: int,
+    padding: int,
+    groups: int,
+    dtype,
+    spec: EpilogueSpec,
+) -> FusedConv2dPlan:
+    wl = Workload.make(
+        "conv2d_fused", x_shape, w_shape, dtype,
+        stride=stride, padding=padding, groups=groups,
+        bias=spec.bias, affine=spec.affine, activation=spec.activation,
+    )
+    return PLAN_CACHE.get_or_build(
+        wl,
+        lambda: FusedConv2dPlan(
+            base=conv2d_plan(x_shape, w_shape, stride, padding, groups, dtype),
+            spec=spec,
+        ),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -216,6 +370,10 @@ class SCCPlan:
     cycle_index: list                       # per cycle position: gathered channel idx
     segments: list                          # per cycle position: [(chan_slice, col_slice)]
     oid_rows: np.ndarray                    # arange(Cout)[:, None], for W_full fill
+    # Contracted output-channel tile of the input-centric pull-GEMM, from
+    # the per-workload schedule table (0 = untiled); kernels resolve the
+    # effective tile at call time so tile_override needs no cache change.
+    pull_tile: int = 0
     _scratch: threading.local = field(default_factory=threading.local, repr=False)
 
     def w_full(self, w: np.ndarray) -> np.ndarray:
@@ -271,6 +429,7 @@ def _build_scc_plan(config: "SCCConfig") -> SCCPlan:
         cycle_index=cycle_index,
         segments=segments,
         oid_rows=np.arange(config.out_channels)[:, None],
+        pull_tile=pull_tile_for(config.in_channels, config.out_channels),
     )
 
 

@@ -13,8 +13,15 @@ axes where each task runs the *identical* contraction calls the ``numpy``
 backend runs, on the identical operands, writing disjoint outputs:
 
 - ``conv2d`` forward / weight-grad shard over **groups** (each group is
-  already an independent einsum in the ``numpy`` kernel; ``groups == 1``
-  therefore runs inline, unsharded — it is a single contraction);
+  already an independent einsum in the ``numpy`` kernel); at ``groups == 1``
+  the lone contraction is sharded over **schedule-table tiles** of the
+  contracted axis: each tile runs the identical ``planned_einsum`` partial
+  the ``numpy`` backend computes serially, and the partials are combined in
+  the canonical fixed-order pairwise tree
+  (:func:`~repro.backend.plan.combine_partials_tree`) — bitwise-equal by
+  construction on any worker count.  Under ``REPRO_PRECISION=fast`` the
+  partials instead accumulate in completion order under a lock (allclose
+  tier, never bitwise);
 - the ``conv2d`` data-grad tap scatter shards over **disjoint tap groups**:
   taps with equal ``(group, i % stride, j % stride)`` write the same
   strided lattice and different keys never touch the same cell, so groups
@@ -27,9 +34,10 @@ backend runs, on the identical operands, writing disjoint outputs:
   position owns the disjoint output interleave ``out[:, p::cd]``); the
   channel-stack gather and both push-style scatters (``np.add.at``) shard
   over **batch rows**, which moves bytes without re-associating any
-  reduction.  The two dense single-contraction steps (channel-stack's
-  grouped GEMM, the input-centric pull GEMM) stay inline: a lone GEMM has
-  no conflict-free decomposition under the bitwise contract.
+  reduction.  The input-centric pull GEMM shards over output-channel tiles
+  with the same canonical tree combine as dense ``conv2d``; only the
+  channel-stack grouped GEMM stays inline (its contraction axis is the
+  group width — too small to tile).
 
 **Stats contract.**  Counters report the same *logical* quantities as the
 ``numpy`` backend — bit-for-bit equal totals — so the gpusim crosscheck is
@@ -42,13 +50,36 @@ estimate would drift from the single-call value.
 """
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.backend import numpy_backend
-from repro.backend.numpy_backend import _count_push_scatter, _pad2d, _patch_view
+from repro.backend.numpy_backend import (
+    _count_push_scatter,
+    _pad2d,
+    _patch_view,
+    dense_fwd_partial,
+    dense_gradw_partial,
+    pull_gemm_partial,
+)
 from repro.backend.parallel import get_num_workers, parallel_map, shard_slices
-from repro.backend.plan import Conv2dPlan, SCCPlan, planned_einsum
+from repro.backend.plan import (
+    Conv2dPlan,
+    EpilogueArgs,
+    FusedConv2dPlan,
+    SCCPlan,
+    combine_partials_tree,
+    planned_einsum,
+)
 from repro.backend.registry import register_kernel
+from repro.backend.schedule import (
+    effective_gradw_tile,
+    effective_k_tile,
+    effective_pull_tile,
+    precision_tier,
+    tile_slices,
+)
 from repro.backend.stats import KernelStats
 
 
@@ -57,9 +88,47 @@ def _chunks(seq: list, size: int):
         yield seq[start : start + size]
 
 
+def _parallel_tiled(partial_fn, slices, out_shape, dtype, op: str) -> np.ndarray:
+    """Per-tile partials on the pool, combined per the active precision tier.
+
+    ``bitwise``: partials come back in submission order and fold through the
+    canonical fixed-order pairwise tree — identical to the ``numpy``
+    backend's serial combine.  ``fast``: each worker accumulates its partial
+    into a shared zeros buffer under a lock, in completion order (allclose
+    tier only).
+    """
+    if precision_tier() == "fast":
+        out = np.zeros(out_shape, dtype=dtype)
+        lock = threading.Lock()
+
+        def run(sl: slice) -> None:
+            part = partial_fn(sl)
+            with lock:
+                np.add(out, part, out=out)
+
+        parallel_map(run, slices, op=op)
+        return out
+    return combine_partials_tree(parallel_map(partial_fn, slices, op=op))
+
+
 # ---------------------------------------------------------------------------
 # conv2d
 # ---------------------------------------------------------------------------
+
+def _dense_forward(plan: Conv2dPlan, patches: np.ndarray, weight: np.ndarray):
+    """Dense (groups == 1) forward: input-channel tiles on the pool."""
+    k_slices = tile_slices(plan.x_shape[1], effective_k_tile(plan.k_tile))
+    if len(k_slices) == 1:
+        # Untiled: one contraction, inline, identical to the numpy kernel.
+        return np.einsum("nchwij,ocij->nohw", patches, weight, optimize=plan.fwd_path)
+    return _parallel_tiled(
+        lambda sl: dense_fwd_partial(patches, weight, sl),
+        k_slices,
+        plan.out_shape,
+        weight.dtype,
+        op="conv2d.fwd.ktiles",
+    )
+
 
 @register_kernel("conv2d", "threaded")
 def conv2d(plan: Conv2dPlan, x: np.ndarray, weight: np.ndarray):
@@ -68,8 +137,7 @@ def conv2d(plan: Conv2dPlan, x: np.ndarray, weight: np.ndarray):
     patches = _patch_view(xp, kh, kw, plan.stride)
     groups = plan.groups
     if groups == 1:
-        # One contraction: inline, identical to the numpy kernel.
-        out = np.einsum("nchwij,ocij->nohw", patches, weight, optimize=plan.fwd_path)
+        out = _dense_forward(plan, patches, weight)
     else:
         cout = plan.out_shape[1]
         out = np.empty(plan.out_shape, dtype=x.dtype)
@@ -110,9 +178,21 @@ def conv2d_backward(
 
     if need_weight_grad:
         if groups == 1:
-            grad_w[:] = np.einsum(
-                "nohw,nchwij->ocij", grad, patches, optimize=plan.gradw_path
+            n_slices = tile_slices(
+                grad.shape[0], effective_gradw_tile(plan.gradw_tile)
             )
+            if len(n_slices) == 1:
+                grad_w[:] = np.einsum(
+                    "nohw,nchwij->ocij", grad, patches, optimize=plan.gradw_path
+                )
+            else:
+                grad_w[:] = _parallel_tiled(
+                    lambda sl: dense_gradw_partial(grad, patches, sl),
+                    n_slices,
+                    weight.shape,
+                    weight.dtype,
+                    op="conv2d.gradw.ntiles",
+                )
         else:
 
             def run_gradw(g: int) -> None:
@@ -178,6 +258,42 @@ def conv2d_backward(
     return grad_x, grad_w
 
 
+@register_kernel("conv2d_fused", "threaded")
+def conv2d_fused(
+    fplan: FusedConv2dPlan, x: np.ndarray, weight: np.ndarray, epilogue: EpilogueArgs
+):
+    """Inference-only conv2d + staged epilogue (see the numpy kernel): the
+    contraction is tiled/sharded exactly like ``conv2d``, and the epilogue
+    runs per output slab while it is cache-hot (inside each group worker for
+    grouped convs, after the tree combine for dense)."""
+    plan = fplan.base
+    kh, kw = plan.kernel
+    xp = _pad2d(x, plan.padding)
+    patches = _patch_view(xp, kh, kw, plan.stride)
+    groups = plan.groups
+    if groups == 1:
+        out = _dense_forward(plan, patches, weight)
+        epilogue.apply(out)
+    else:
+        cout = plan.out_shape[1]
+        out = np.empty(plan.out_shape, dtype=x.dtype)
+        og = cout // groups
+        cg = plan.x_shape[1] // groups
+
+        def run_group(g: int) -> None:
+            gsl = slice(g * og, (g + 1) * og)
+            out[:, gsl] = np.einsum(
+                "nchwij,ocij->nohw",
+                patches[:, g * cg : (g + 1) * cg],
+                weight[gsl],
+                optimize=plan.fwd_path,
+            )
+            epilogue.apply(out[:, gsl], gsl)
+
+        parallel_map(run_group, range(groups), op="conv2d_fused.groups")
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Pooling: memory-bound single-pass kernels — reuse the numpy implementations
 # so a model pinned wholesale to backend="threaded" dispatches every op.
@@ -198,7 +314,7 @@ def _merge_deltas(stats: KernelStats, deltas: list[KernelStats]) -> None:
         stats.merge(delta)
 
 
-def _channel_stack_forward(plan, x, w, stats):
+def _channel_stack_forward(plan, x, w, stats, epilogue=None):
     n = x.shape[0]
     stacked = np.empty((n,) + plan.windows.shape + x.shape[2:], dtype=x.dtype)
     shards = shard_slices(n, get_num_workers())
@@ -213,6 +329,8 @@ def _channel_stack_forward(plan, x, w, stats):
     _merge_deltas(stats, deltas)
     stats.record(gemm_calls=1)  # one logical grouped contraction
     out = planned_einsum("noghw,og->nohw", stacked, w)
+    if epilogue is not None:
+        epilogue.apply(out)
     return out, {"x": x, "w": w, "stacked": stacked}
 
 
@@ -238,7 +356,7 @@ def _channel_stack_backward(plan, saved, grad_out, need_x, need_w, stats):
     return grad_x, grad_w
 
 
-def _conv_stack_forward(plan, x, w, stats):
+def _conv_stack_forward(plan, x, w, stats, epilogue=None):
     cfg = plan.config
     cd = plan.cyclic_dist
     n, _, h, wdt = x.shape
@@ -252,6 +370,8 @@ def _conv_stack_forward(plan, x, w, stats):
         deltas[p].bytes_materialized += win.nbytes
         out[:, p::cd] = planned_einsum("nghw,og->nohw", win, w[p::cd])
         deltas[p].gemm_calls += 1
+        if epilogue is not None:
+            epilogue.apply(out[:, p::cd], slice(p, None, cd))
 
     parallel_map(run, range(cd), op="scc.conv_stack.fwd")
     _merge_deltas(stats, deltas)
@@ -289,7 +409,7 @@ def _conv_stack_backward(plan, saved, grad_out, need_x, need_w, stats):
     return grad_x, grad_w
 
 
-def _dsxplore_forward(plan, x, w, stats):
+def _dsxplore_forward(plan, x, w, stats, epilogue=None):
     cfg = plan.config
     cd = plan.cyclic_dist
     n, _, h, wdt = x.shape
@@ -303,6 +423,8 @@ def _dsxplore_forward(plan, x, w, stats):
                 "nchw,oc->nohw", x[:, chan_slice], wp[:, col_slice]
             )
             deltas[p].gemm_calls += 1
+        if epilogue is not None:
+            epilogue.apply(out[:, p::cd], slice(p, None, cd))
 
     parallel_map(run, range(cd), op="scc.dsxplore.fwd")
     _merge_deltas(stats, deltas)
@@ -335,11 +457,25 @@ def _dsxplore_backward(plan, saved, grad_out, need_x, need_w, stats, backward_de
     grad_x = None
     if need_x:
         if backward_design == "input_centric":
-            # One dense pull GEMM: inline (see module docstring).
+            # The dense pull GEMM: output-channel tiles on the pool, combined
+            # in the canonical tree order (see module docstring).
             w_full = plan.w_full(w)
             stats.record(bytes_materialized=w_full.nbytes)
-            grad_x = planned_einsum("nohw,oc->nchw", grad_out, w_full)
-            stats.record(gemm_calls=1)
+            o_slices = tile_slices(
+                w_full.shape[0], effective_pull_tile(plan.pull_tile)
+            )
+            if len(o_slices) == 1:
+                grad_x = planned_einsum("nohw,oc->nchw", grad_out, w_full)
+            else:
+                pull_shape = (grad_out.shape[0], w_full.shape[1]) + grad_out.shape[2:]
+                grad_x = _parallel_tiled(
+                    lambda sl: pull_gemm_partial(grad_out, w_full, sl),
+                    o_slices,
+                    pull_shape,
+                    np.result_type(grad_out.dtype, w_full.dtype),
+                    op="scc.dsxplore.pulltiles",
+                )
+            stats.record(gemm_calls=1)  # one logical pull contraction
             grad_x = grad_x.astype(x.dtype, copy=False)
         else:
             contrib = planned_einsum("nohw,og->noghw", grad_out, w)
@@ -377,6 +513,7 @@ def scc_forward(
     *,
     strategy: str = "dsxplore",
     stats: KernelStats | None = None,
+    epilogue: EpilogueArgs | None = None,
 ):
     try:
         fwd = _FORWARD[strategy]
@@ -384,7 +521,9 @@ def scc_forward(
         raise ValueError(
             f"unknown SCC strategy {strategy!r}; available: {sorted(_FORWARD)}"
         ) from None
-    return fwd(plan, x, w, stats if stats is not None else KernelStats())
+    return fwd(
+        plan, x, w, stats if stats is not None else KernelStats(), epilogue=epilogue
+    )
 
 
 @register_kernel("scc_backward", "threaded")

@@ -136,6 +136,15 @@ class PlanCache:
     owner has the least (exponentially decayed) traffic — so a hot model's
     plans survive a cold model churning through the tail, while
     single-owner workloads degrade to exact LRU.
+
+    **Per-owner floor.**  ``owner_floor=K`` reserves a hard quota: an entry
+    whose owner holds ``K`` or fewer resident entries is never evicted, so
+    a cold model keeps (at least) its last ``K`` plans no matter how hard a
+    hot model churns the cache.  When every candidate is protected the scan
+    widens over the full LRU order (still sparing the just-built MRU
+    entry); only if *every* entry in the cache is protected — the floors
+    alone exceed capacity — does eviction fall back to the unprotected
+    traffic-weighted choice, because ``maxsize`` is a hard bound.
     """
 
     def __init__(
@@ -143,6 +152,7 @@ class PlanCache:
         maxsize: int = 1024,
         eviction_candidates: int = 8,
         traffic_decay_every: int = 4096,
+        owner_floor: int = 0,
     ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
@@ -150,15 +160,19 @@ class PlanCache:
             raise ValueError(
                 f"eviction_candidates must be >= 1, got {eviction_candidates}"
             )
+        if owner_floor < 0:
+            raise ValueError(f"owner_floor must be >= 0, got {owner_floor}")
         self.maxsize = maxsize
         self.eviction_candidates = eviction_candidates
         self.traffic_decay_every = traffic_decay_every
+        self.owner_floor = owner_floor
         self.hits = 0
         self.misses = 0
         self.builds = 0
         self.evictions = 0
         self._plans: OrderedDict[Workload, Any] = OrderedDict()
         self._entry_owner: dict[Workload, str | None] = {}
+        self._owner_sizes: dict[str | None, int] = {}  # resident entries per owner
         self._owner_stats: dict[str | None, dict[str, int]] = {}
         self._traffic: dict[str | None, float] = {}  # decayed eviction weights
         self._accesses_since_decay = 0
@@ -188,6 +202,19 @@ class PlanCache:
             for key in self._traffic:
                 self._traffic[key] *= 0.5
 
+    def _retag_entry(self, workload: Workload, owner: str | None) -> None:
+        previous = self._entry_owner.get(workload)
+        if workload in self._entry_owner and previous == owner:
+            return
+        if workload in self._entry_owner:
+            self._owner_sizes[previous] = self._owner_sizes.get(previous, 1) - 1
+        self._entry_owner[workload] = owner
+        self._owner_sizes[owner] = self._owner_sizes.get(owner, 0) + 1
+
+    def _floor_protected(self, workload: Workload) -> bool:
+        owner = self._entry_owner.get(workload)
+        return self._owner_sizes.get(owner, 0) <= self.owner_floor
+
     def _evict_one(self) -> None:
         """Drop the least-traffic-owner entry among the LRU candidates.
 
@@ -197,17 +224,32 @@ class PlanCache:
         cycle (miss churn with a 0% hit rate) whenever the cache is no
         larger than the candidate window.
         """
-        candidates = itertools.islice(
-            self._plans, min(self.eviction_candidates, len(self._plans) - 1)
-        )
+        window = min(self.eviction_candidates, len(self._plans) - 1)
+        candidates = list(itertools.islice(self._plans, window))
+        pool = candidates
+        if self.owner_floor > 0:
+            pool = [wl for wl in candidates if not self._floor_protected(wl)]
+            if not pool:
+                # Candidate window all floor-protected: widen over the full
+                # LRU order (minus the just-built MRU entry) for the first
+                # evictable entry.
+                for wl in itertools.islice(self._plans, len(self._plans) - 1):
+                    if not self._floor_protected(wl):
+                        pool = [wl]
+                        break
+                else:
+                    # Floors alone exceed capacity: maxsize is a hard bound,
+                    # so fall back to the unprotected choice.
+                    pool = candidates
         # min() is stable and the candidates iterate oldest-first, so ties
         # (same owner, or equal-traffic owners) fall back to exact LRU.
         victim = min(
-            candidates,
+            pool,
             key=lambda wl: self._traffic.get(self._entry_owner.get(wl), 0.0),
         )
         del self._plans[victim]
         owner = self._entry_owner.pop(victim, None)
+        self._owner_sizes[owner] = self._owner_sizes.get(owner, 1) - 1
         self.evictions += 1
         self._owner_acc(owner)["evictions"] += 1
 
@@ -223,7 +265,7 @@ class PlanCache:
                     self._plans.move_to_end(workload)
                     # Re-ownership on hit: the entry now belongs to whoever
                     # is actually consuming it (see class docstring).
-                    self._entry_owner[workload] = owner
+                    self._retag_entry(workload, owner)
                     return self._plans[workload]
                 if workload not in self._building:
                     # We own this build; everyone else arriving now waits.
@@ -254,7 +296,7 @@ class PlanCache:
                 # must not silently re-acquire pre-clear entries.
                 self._plans[workload] = plan
                 self._plans.move_to_end(workload)
-                self._entry_owner[workload] = owner
+                self._retag_entry(workload, owner)
                 while len(self._plans) > self.maxsize:
                     self._evict_one()
             self._cond.notify_all()
@@ -267,6 +309,7 @@ class PlanCache:
             self._epoch += 1
             self._plans.clear()
             self._entry_owner.clear()
+            self._owner_sizes.clear()
             self._owner_stats.clear()
             self._traffic.clear()
             self._accesses_since_decay = 0

@@ -109,11 +109,14 @@ class _StrategyBase:
                 f"expected weight ({cfg.out_channels}, {cfg.group_width}), got {w.shape}"
             )
 
-    def forward(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, w: np.ndarray, epilogue=None) -> np.ndarray:
         self._check_shapes(x, w)
         self.stats.reset()
+        # The kwarg is passed only when set, so backends (or test doubles)
+        # with the pre-fusion signature keep working unfused.
+        kwargs = {} if epilogue is None else {"epilogue": epilogue}
         out, self._saved = self._forward_kernel(
-            self.plan, x, w, strategy=self.name, stats=self.stats
+            self.plan, x, w, strategy=self.name, stats=self.stats, **kwargs
         )
         return out
 

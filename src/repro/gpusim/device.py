@@ -1,6 +1,7 @@
 """Device specifications for the execution model."""
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -36,10 +37,24 @@ class DeviceSpec:
     # (single-contraction kernels, pad/stage glue), coordination_cost the
     # relative overhead each extra worker adds (task submit/join, shard
     # imbalance).  Calibrated against the modelled worker sweep of
-    # bench_backend_scaling (conv-gpw + SCC workloads: ~3.1-3.4x at 4
-    # workers -> serial fraction ~= 0.04, coordination ~= 0.015).
+    # bench_backend_scaling; the post-tiling refresh (grouped conv + SCC
+    # plus the tiled dense-conv / pull-GEMM workloads: ~3.1-3.4x untiled,
+    # ~2.5x tiled at 4 workers) re-fits to the same serial fraction ~= 0.04
+    # and coordination ~= 0.015.
     host_serial_fraction: float = 0.04
     host_coordination_cost: float = 0.015
+    # Tiled-contraction terms (repro.backend.schedule): combining T per-tile
+    # partials through the canonical fixed-order pairwise tree costs
+    # ceil(log2 T) elementwise passes over the output, charged as a relative
+    # overhead per combine level (fit to the bench_tiled_gemm tile sweep:
+    # the 4-tile schedule-table workloads model ~1.7x @ 2 and ~2.4-2.9x @
+    # 4 workers).
+    # fusion_stage_discount is the relative time a staged epilogue
+    # (bias/BN/activation applied while the output tile is cache-hot) saves
+    # per absorbed stage versus materialising each elementwise op as its
+    # own framework pass.
+    tile_combine_overhead: float = 0.025
+    fusion_stage_discount: float = 0.05
 
     @property
     def cuda_cores(self) -> int:
@@ -68,6 +83,38 @@ class DeviceSpec:
         """``parallel_speedup(workers) / workers``: 1.0 at one worker,
         decaying as the serial fraction and coordination cost bite."""
         return self.parallel_speedup(workers) / workers
+
+    def tiled_speedup(self, workers: int, tiles: int) -> float:
+        """Modelled speedup of a tiled contraction at ``workers`` workers.
+
+        The :func:`parallel_speedup` Amdahl form with two tiling-specific
+        corrections: the parallel share can use at most ``min(workers,
+        tiles)`` lanes (a contraction cut into 2 tiles cannot feed 4
+        workers), and the canonical fixed-order combine tree adds
+        ``tile_combine_overhead * ceil(log2 tiles)`` relative serial work.
+        ``tiles <= 1`` degrades to the untiled single-contraction kernel:
+        speedup 1.0 at any worker count.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if tiles < 0:
+            raise ValueError(f"tiles must be non-negative, got {tiles}")
+        if tiles <= 1:
+            return 1.0
+        s, c = self.host_serial_fraction, self.host_coordination_cost
+        lanes = min(workers, tiles)
+        combine = self.tile_combine_overhead * math.ceil(math.log2(tiles))
+        return max(
+            1.0, 1.0 / (s + (1.0 - s) / lanes + c * (workers - 1) + combine)
+        )
+
+    def fused_epilogue_speedup(self, stages: int) -> float:
+        """Relative speedup of folding ``stages`` elementwise epilogue ops
+        (bias add, BN affine, activation) into the producing kernel versus
+        running each as its own framework-composed pass."""
+        if stages < 0:
+            raise ValueError(f"stages must be non-negative, got {stages}")
+        return 1.0 + self.fusion_stage_discount * stages
 
     def occupancy(self, threads: int) -> float:
         """Fraction of peak throughput a launch of ``threads`` can reach.

@@ -93,7 +93,9 @@ def build_model(
     return model
 
 
-def build_serving_model(name: str, seed: int = 0, **kwargs) -> nn.Module:
+def build_serving_model(
+    name: str, seed: int = 0, fuse: bool = True, **kwargs
+) -> nn.Module:
     """Deterministic eval-mode model for the multi-model serving router.
 
     A thin :func:`build_model` wrapper with serving defaults: weights drawn
@@ -103,9 +105,30 @@ def build_serving_model(name: str, seed: int = 0, **kwargs) -> nn.Module:
     ``kwargs`` pass through to :func:`build_model`; ``plan_backward``
     defaults to ``False`` because serving never runs a backward pass.
 
+    ``fuse=True`` (the default) runs :func:`repro.nn.fuse_inference` on the
+    eval-mode model, absorbing bias/BN/activation stages into staged kernel
+    epilogues — bitwise-identical outputs, fewer materialized
+    intermediates.  Fusion happens *before* any ``plan_input_shape``
+    pre-building so the :class:`~repro.backend.ModelPlan` warmup makes the
+    fused plans cache-resident.  The count lands on ``model.fused_layers``.
+
     :meth:`repro.serve.Router.register` calls this when handed a registry
     name instead of a built module.
     """
     kwargs.setdefault("rng", np.random.default_rng(seed))
     kwargs.setdefault("plan_backward", False)
-    return build_model(name, **kwargs).eval()
+    plan_input_shape = kwargs.pop("plan_input_shape", None)
+    plan_batch_size = kwargs.pop("plan_batch_size", 1)
+    plan_backward = kwargs.pop("plan_backward")
+    model = build_model(name, **kwargs).eval()
+    model.fused_layers = nn.fuse_inference(model) if fuse else 0
+    if plan_input_shape is not None:
+        from repro.backend import ModelPlan
+
+        model.model_plan = ModelPlan(
+            model,
+            plan_input_shape,
+            batch_size=plan_batch_size,
+            include_backward=plan_backward,
+        )
+    return model

@@ -84,6 +84,7 @@ class RouterMetrics:
     cache_evictions: int          # global evictions over the window
     per_model: dict[str, ServingMetrics]
     per_model_cache: dict[str, dict]
+    fused_layers: int = 0         # summed fused-epilogue layers across models
 
     def as_dict(self) -> dict:
         out = dict(self.__dict__)
@@ -105,6 +106,12 @@ class Router:
         model's drain on the shared worker pool so different models'
         batches overlap; ``False`` drains strictly serially in
         registration order (deterministic shared-cache access order).
+    cache_owner_floor:
+        when set, configures the shared plan cache's per-owner quota
+        (``PlanCache.owner_floor``): every registered model keeps at least
+        this many resident plans no matter how hard the other models churn
+        the cache.  Applied process-wide (the cache is shared); ``None``
+        leaves the cache's current setting untouched.
     """
 
     def __init__(
@@ -112,7 +119,14 @@ class Router:
         server_config: ServerConfig | None = None,
         clock: Callable[[], float] = time.perf_counter,
         overlap: bool = True,
+        cache_owner_floor: int | None = None,
     ) -> None:
+        if cache_owner_floor is not None:
+            if cache_owner_floor < 0:
+                raise ValueError(
+                    f"cache_owner_floor must be >= 0, got {cache_owner_floor}"
+                )
+            PLAN_CACHE.owner_floor = cache_owner_floor
         self._default_config = server_config
         self._clock = clock
         self.overlap = overlap
@@ -302,4 +316,5 @@ class Router:
             cache_evictions=cache["evictions"] - self._cache_base["evictions"],
             per_model=per_model,
             per_model_cache=per_model_cache,
+            fused_layers=sum(m.fused_layers for m in per_model.values()),
         )

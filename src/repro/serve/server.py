@@ -90,6 +90,7 @@ class ServingMetrics:
     rejected: int = 0            # submits refused by admission control
     shed: int = 0                # pending requests dropped by stop(drain=False)
     exec_seconds_total: float = 0.0  # summed batch execution time (busy time)
+    fused_layers: int = 0        # layers serving through fused epilogue plans
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -179,6 +180,14 @@ class Server:
         self.config = config or ServerConfig()
         self.clock = clock
         self.name = name
+        # How many layers dispatch through fused conv->bias/BN->activation
+        # epilogues (repro.nn.fuse_inference); surfaced in the metrics so a
+        # deployment can verify its models actually serve on the fused path.
+        self.fused_layers = sum(
+            1
+            for _, m in self.model.named_modules()
+            if getattr(m, "_fused_epilogue", None) is not None
+        )
         self._ids = itertools.count()
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -284,6 +293,7 @@ class Server:
                 rejected=self._rejected,
                 shed=self._shed,
                 exec_seconds_total=sum(self._exec_seconds),
+                fused_layers=self.fused_layers,
             )
 
     # -- request lifecycle ----------------------------------------------------

@@ -228,6 +228,83 @@ def test_eviction_attributed_to_owner_of_evicted_entry():
 
 
 # ---------------------------------------------------------------------------
+# Per-owner floor: a hard residency quota under cross-model churn
+# ---------------------------------------------------------------------------
+
+def test_owner_floor_keeps_exact_floor_under_hot_churn():
+    # A cold model holding more than its floor loses entries oldest-first
+    # down to *exactly* the floor, then becomes untouchable: the remaining
+    # churn is paid by the hot owner itself.
+    cache = PlanCache(maxsize=6, owner_floor=2)
+    fill(cache, [0, 1, 2, 3], owner="cold")
+    fill(cache, range(10, 30), owner="hot")       # 20 builds of hot churn
+    owners = cache.owner_stats()
+    assert owners["cold"]["size"] == 2
+    assert wl(2) in cache and wl(3) in cache      # the MRU two survived
+    assert wl(0) not in cache and wl(1) not in cache
+    assert owners["cold"]["evictions"] == 2       # down to the floor, no more
+    assert owners["hot"]["evictions"] == cache.stats()["evictions"] - 2
+    assert cache.stats()["size"] == 6             # maxsize stays a hard bound
+
+
+def test_owner_floor_zero_gives_no_protection():
+    # Control: the identical churn with the default floor evicts the cold
+    # owner completely (traffic-weighted victim selection alone).
+    cache = PlanCache(maxsize=6, owner_floor=0)
+    fill(cache, [0, 1, 2, 3], owner="cold")
+    fill(cache, range(10, 30), owner="hot")
+    assert cache.owner_stats()["cold"]["size"] == 0
+
+
+def test_owner_floor_widens_scan_past_protected_candidates():
+    # The candidate window holds only floor-protected entries: eviction
+    # must widen over the full LRU order and take the first evictable
+    # entry instead of violating a floor.
+    cache = PlanCache(maxsize=4, eviction_candidates=2, owner_floor=2)
+    fill(cache, [0, 1], owner="a")        # LRU head; a is at its floor
+    fill(cache, [10, 11], owner="b")
+    fill(cache, [12], owner="b")          # overflow; window = a's entries
+    assert wl(0) in cache and wl(1) in cache
+    assert wl(10) not in cache            # b's own oldest paid instead
+    assert wl(11) in cache and wl(12) in cache
+    owners = cache.owner_stats()
+    assert owners["a"]["evictions"] == 0 and owners["b"]["evictions"] == 1
+
+
+def test_owner_floor_everything_protected_falls_back_to_lru():
+    # Floors alone exceed capacity: maxsize is the harder bound, so the
+    # eviction falls back to the unprotected (traffic-then-LRU) choice.
+    cache = PlanCache(maxsize=2, owner_floor=2)
+    fill(cache, [0], owner="a")
+    fill(cache, [1], owner="b")
+    fill(cache, [2], owner="c")           # every resident entry protected
+    stats = cache.stats()
+    assert stats["size"] == 2 and stats["evictions"] == 1
+    assert wl(0) not in cache             # equal traffic: exact-LRU victim
+
+
+def test_owner_floor_protection_follows_retag():
+    # Floor accounting rides the same per-owner sizes re-ownership updates:
+    # an entry retagged to its consumer counts against the *consumer's*
+    # floor and is shielded as such.
+    cache = PlanCache(maxsize=4, owner_floor=1)
+    fill(cache, [0], owner="builder")
+    with plan_owner("consumer"):
+        cache.get_or_build(wl(0), lambda: "never rebuilt")   # retag
+    fill(cache, [1, 2, 3], owner="churner")   # full
+    fill(cache, [4, 5], owner="churner")      # overflow twice
+    assert wl(0) in cache                     # consumer's floor of one holds
+    owners = cache.owner_stats()
+    assert owners["consumer"]["size"] == 1
+    assert owners["churner"]["evictions"] == 2
+
+
+def test_owner_floor_validation():
+    with pytest.raises(ValueError, match="owner_floor"):
+        PlanCache(owner_floor=-1)
+
+
+# ---------------------------------------------------------------------------
 # clear() epoch behaviour with in-flight builds
 # ---------------------------------------------------------------------------
 
