@@ -36,6 +36,7 @@ from bench_serving_batching import report_serving_batching
 from bench_multimodel_serving import report_multimodel_serving
 from bench_backend_scaling import report_backend_scaling
 from bench_tiled_gemm import report_tiled_gemm
+from bench_async_gateway import report_async_gateway
 
 REPORTS = [
     ("Table I", report_table1),
@@ -59,6 +60,7 @@ REPORTS = [
     ("Serving: multi-model routing", report_multimodel_serving),
     ("Backend: threaded scaling", report_backend_scaling),
     ("Backend: tiled contractions", report_tiled_gemm),
+    ("Serving: async gateway", report_async_gateway),
 ]
 
 

@@ -122,6 +122,7 @@ from repro.backend.parallel import (
     num_workers,
     parallel_map,
     set_num_workers,
+    submit_pooled,
 )
 from repro.backend.registry import env_backend_order
 
@@ -151,6 +152,7 @@ __all__ = [
     "num_workers",
     "parallel_map",
     "set_num_workers",
+    "submit_pooled",
     "KernelStats",
     "scc_conflict_fraction",
     "PLAN_CACHE",

@@ -47,6 +47,7 @@ __all__ = [
     "num_workers",
     "parallel_map",
     "shard_slices",
+    "submit_pooled",
     "trace_parallel",
     "RegionTrace",
     "makespan",
@@ -197,6 +198,36 @@ def trace_parallel() -> Iterator[list[RegionTrace]]:
         yield sink
     finally:
         _TRACE_SINK = None
+
+
+def submit_pooled(fn: Callable[..., Any], /, *args: Any) -> concurrent.futures.Future:
+    """Submit one task to the shared pool; returns its future.
+
+    The single-task sibling of :func:`parallel_map`, for consumers that
+    need a *future* rather than blocking results — the asyncio serving
+    gateway wraps it with ``asyncio.wrap_future`` to await batch execution
+    without tying up the event loop.  Same worker discipline as a
+    ``parallel_map`` task: the submitting thread's plan-cache owner tag is
+    re-installed inside the task, the task is marked as a pooled worker so
+    any nested parallel region runs inline on its own worker (no
+    pool-starvation deadlock), and submission retries transparently across
+    a concurrent :func:`set_num_workers` rebuild.
+    """
+    owner = current_plan_owner()
+
+    def run() -> Any:
+        _IN_WORKER.active = True
+        try:
+            with plan_owner(owner):
+                return fn(*args)
+        finally:
+            _IN_WORKER.active = False
+
+    while True:
+        try:
+            return _executor().submit(run)
+        except RuntimeError:  # pool resized mid-submit: re-fetch and retry
+            continue
 
 
 def parallel_map(

@@ -116,6 +116,31 @@ class DeviceSpec:
             raise ValueError(f"stages must be non-negative, got {stages}")
         return 1.0 + self.fusion_stage_discount * stages
 
+    def batching_queue_wait(
+        self, arrival_rate: float, bucket: int, max_wait: float
+    ) -> float:
+        """Modelled mean batch-fill wait of the serving tier's bucketing.
+
+        A request entering a bucket of ``bucket`` slots waits for up to
+        ``bucket - 1`` later arrivals; with Poisson arrivals at
+        ``arrival_rate``/s the expected fill time is ``(bucket - 1) /
+        rate`` and a request's mean share of it is half.  The serving
+        deadline caps the wait at ``max_wait`` (the ``max_latency`` flush).
+        This is the queueing-delay term the adaptive
+        :class:`repro.serve.sched.BucketPolicy` trades against batch
+        throughput; :func:`repro.gpusim.timeline.serving_latency` combines
+        it with the simulated execution time, and the scheduling-core tests
+        cross-check the policy's bucket choice against the analytic
+        optimum.
+        """
+        if bucket < 1:
+            raise ValueError(f"bucket must be >= 1, got {bucket}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        if bucket == 1 or arrival_rate <= 0:
+            return 0.0
+        return 0.5 * min((bucket - 1) / arrival_rate, max_wait)
+
     def occupancy(self, threads: int) -> float:
         """Fraction of peak throughput a launch of ``threads`` can reach.
 

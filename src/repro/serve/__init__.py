@@ -1,47 +1,80 @@
-"""Inference serving front-end: shape-bucketed request batching + routing.
+"""Inference serving front-end: scheduling core, transports, routing.
 
 The ROADMAP's heavy-traffic north star meets the plan cache here: incoming
 single-image requests are coalesced into shape-bucketed batches so every
 bucket executes on a warm :class:`repro.backend.ModelPlan` entry, and the
 plan-cache hit rate becomes a first-class serving metric next to p50/p95
-latency and throughput.
+latency and throughput.  The tier is three layers:
 
-- :class:`Server` — submit/flush front-end for one model with configurable
-  bucket sizes, a max-latency flush deadline, per-model admission control
-  (``max_pending`` + :class:`QueueFull` shedding) and an optional
-  background worker thread (the concurrent path the single-flight plan
-  cache exists for);
-- :class:`Router` — multi-model front-end: one server per registered
-  model, requests routed by model name, all servers sharing the
-  process-wide plan cache with per-model (owner-tagged) accounting and
-  traffic-weighted eviction; :class:`RouterMetrics` aggregates per-model
-  p50/p95/throughput/hit-rate;
-- :class:`ServerConfig` — bucket/flush/admission knobs;
-- :class:`RequestResult` / :class:`ServingMetrics` — per-request outputs and
-  aggregate serving statistics;
-- :class:`QueueFull` / :class:`RequestShed` — the two ways a request is
-  shed (admission control, shutdown without drain) rather than silently
-  dropped.
+- **scheduling core** (:mod:`repro.serve.sched`) — pure, clock-injected
+  policy objects: bounded admission with backpressure
+  (:class:`AdmissionPolicy`), arrival-rate-adaptive bucket sizing
+  (:class:`BucketPolicy`), deadline-aware load shedding
+  (:class:`ShedPolicy`), deficit-round-robin cross-model fairness
+  (:class:`FairnessPolicy`), composed by :class:`SchedCore`;
+- **transports** — the synchronous :class:`Server` (thread-worker adapter;
+  bitwise-pinned legacy behaviour at the default config) and
+  :class:`Router` (multi-model, shared plan cache with owner-tagged
+  accounting and traffic-weighted eviction), plus the asyncio
+  :class:`AsyncGateway` (``await``-able submit, per-request latency
+  budgets, shed surfaced as exceptions, batch execution on the shared
+  worker pool), all driving the same :class:`ModelExecutor` batch engine
+  (:mod:`repro.serve.engine`) — which is what makes their outputs
+  bitwise-identical at a fixed bucket size;
+- **observability** — :class:`ServingMetrics` / :class:`RouterMetrics`
+  with the queue-wait vs exec-time latency split, deadline-miss rate,
+  shed-by-deadline counts and the live adaptive bucket target;
+  :meth:`Server.status` / :meth:`Router.status` answer a request's
+  lifecycle (``PENDING | DONE | SHED | EVICTED``).
+
+Shed paths are never silent: :class:`QueueFull` (admission),
+:class:`RequestShed` (shutdown without drain), :class:`DeadlineExceeded`
+(latency budget blown while queued).
 """
+from repro.serve.engine import BatchTiming, ModelExecutor
+from repro.serve.gateway import AsyncGateway, GatewayConfig
 from repro.serve.router import Router, RouterHandle, RouterMetrics
+from repro.serve.sched import (
+    AdmissionPolicy,
+    Batch,
+    BucketPolicy,
+    FairnessPolicy,
+    SchedCore,
+    SchedRequest,
+    ShedPolicy,
+)
 from repro.serve.server import (
+    DeadlineExceeded,
     QueueFull,
     Request,
     RequestResult,
     RequestShed,
+    RequestStatus,
     Server,
     ServerConfig,
     ServingMetrics,
 )
 
 __all__ = [
+    "AdmissionPolicy",
+    "AsyncGateway",
+    "Batch",
+    "BatchTiming",
+    "BucketPolicy",
+    "DeadlineExceeded",
+    "FairnessPolicy",
+    "GatewayConfig",
+    "ModelExecutor",
     "QueueFull",
     "Request",
     "RequestResult",
     "RequestShed",
+    "RequestStatus",
     "Router",
     "RouterHandle",
     "RouterMetrics",
+    "SchedCore",
+    "SchedRequest",
     "Server",
     "ServerConfig",
     "ServingMetrics",

@@ -1,0 +1,138 @@
+"""The batch execution engine shared by the serving transports.
+
+:class:`ModelExecutor` owns exactly the model-facing half of what
+:class:`~repro.serve.server.Server` used to do inline: the pre-built
+per-(shape, bucket) :class:`~repro.backend.ModelPlan` table, the cold-path
+plan build for unseen shapes, and the staged, owner-tagged batch forward
+under the execution lock.  The sync :class:`Server` and the asyncio
+:class:`~repro.serve.gateway.AsyncGateway` both drive it, which is what
+makes the gateway's outputs bitwise-identical to the sync server's: the
+same plan, the same staging, the same summation order, regardless of which
+transport formed the batch.
+"""
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.backend import ModelPlan, plan_owner
+from repro.tensor import Tensor, no_grad
+
+__all__ = ["BatchTiming", "ModelExecutor"]
+
+
+class BatchTiming:
+    """Clock readings of one executed batch.
+
+    ``started``/``finished`` are readings of the *injected* clock (the
+    transport's time base — comparable to request ``arrived_at`` and
+    deadlines); ``exec_seconds`` is the stage+forward wall time on the real
+    clock regardless of any test clock (the router's overlap model and the
+    gpusim calibration consume it).
+    """
+
+    __slots__ = ("started", "finished", "exec_seconds")
+
+    def __init__(self, started: float, finished: float, exec_seconds: float):
+        self.started = started
+        self.finished = finished
+        self.exec_seconds = exec_seconds
+
+
+class ModelExecutor:
+    """Plan-warm batch execution for one model.
+
+    Parameters mirror the old ``Server`` constructor: plans for every
+    ``input_shapes`` x ``bucket_sizes`` pair are pre-built here (attributed
+    to ``name`` in the shared plan cache), so steady-state batches run
+    entirely on cache hits.  Unseen shapes build lazily under the execution
+    lock (the build probes the shared model, so it must not overlap an
+    in-flight batch).
+
+    The executor serialises its own batches on ``exec_lock`` — the staged
+    plan buffers are shared per (shape, bucket) — while different
+    executors' batches may overlap freely (the router/gateway rely on
+    that).
+    """
+
+    def __init__(
+        self,
+        model,
+        input_shapes: tuple | list = ((3, 32, 32),),
+        bucket_sizes: tuple[int, ...] = (1, 2, 4, 8),
+        name: str | None = None,
+    ) -> None:
+        self.model = model.eval()
+        self.name = name
+        self.bucket_sizes = tuple(sorted(set(bucket_sizes)))
+        # Layers dispatching through fused conv->bias/BN->activation
+        # epilogues (repro.nn.fuse_inference); surfaced in serving metrics.
+        self.fused_layers = sum(
+            1
+            for _, m in self.model.named_modules()
+            if getattr(m, "_fused_epilogue", None) is not None
+        )
+        self.exec_lock = threading.Lock()
+        self._plans_lock = threading.Lock()
+        self._plans: dict[tuple, ModelPlan] = {}
+        with plan_owner(self.name):
+            for shape in input_shapes:
+                for bucket in self.bucket_sizes:
+                    self._plans[(tuple(shape), bucket)] = ModelPlan(
+                        self.model, tuple(shape), batch_size=bucket,
+                        include_backward=False,
+                    )
+
+    def plan_for(self, shape: tuple, bucket: int) -> ModelPlan:
+        """The (shape, bucket) plan, building it on first sight.
+
+        Cold path: visible in metrics via the plan-cache build counter.
+        The build runs probe forwards (and registers hooks) on the shared
+        model, so it takes the execution lock to stay clear of in-flight
+        batches.
+        """
+        key = (tuple(shape), bucket)
+        with self._plans_lock:
+            plan = self._plans.get(key)
+        if plan is None:
+            with self.exec_lock:
+                with self._plans_lock:
+                    plan = self._plans.get(key)
+                if plan is None:
+                    with plan_owner(self.name):
+                        plan = ModelPlan(self.model, tuple(shape),
+                                         batch_size=bucket,
+                                         include_backward=False)
+                    with self._plans_lock:
+                        self._plans.setdefault(key, plan)
+                        plan = self._plans[key]
+        return plan
+
+    def run(
+        self,
+        images: list[np.ndarray],
+        bucket: int,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> tuple[np.ndarray, BatchTiming]:
+        """Execute one batch of same-shape images padded to ``bucket``.
+
+        Returns the ``(n, num_classes)`` output rows for the *real* images
+        (padding rows are never returned) and the batch's
+        :class:`BatchTiming`.  Bitwise guarantee: the plan pads to the
+        bucket size, so BLAS blocking and summation order depend only on
+        (shape, bucket) — never on how many real requests rode along.
+        """
+        shape = tuple(images[0].shape)
+        plan = self.plan_for(shape, bucket)
+        with self.exec_lock:
+            started = clock()
+            exec_start = time.perf_counter()
+            batch = plan.stage_batch(np.stack(images))
+            with no_grad(), plan_owner(self.name):
+                out = self.model(Tensor(batch)).data
+            exec_seconds = time.perf_counter() - exec_start
+            finished = clock()
+        return out[: len(images)], BatchTiming(started, finished, exec_seconds)

@@ -48,7 +48,13 @@ from typing import Callable, NamedTuple
 import numpy as np
 
 from repro.backend import PLAN_CACHE, parallel_map, plan_cache_stats, plan_owner
-from repro.serve.server import RequestResult, Server, ServerConfig, ServingMetrics
+from repro.serve.server import (
+    RequestResult,
+    RequestStatus,
+    Server,
+    ServerConfig,
+    ServingMetrics,
+)
 
 
 # Cache counters that only ever grow; "size" is a gauge and must never be
@@ -85,6 +91,8 @@ class RouterMetrics:
     per_model: dict[str, ServingMetrics]
     per_model_cache: dict[str, dict]
     fused_layers: int = 0         # summed fused-epilogue layers across models
+    shed_deadline: int = 0        # deadline-policy sheds across all models
+    deadline_misses: int = 0      # completions past their deadline, all models
 
     def as_dict(self) -> dict:
         out = dict(self.__dict__)
@@ -197,16 +205,24 @@ class Router:
 
     # -- request lifecycle -----------------------------------------------------
 
-    def submit(self, model: str, image: np.ndarray) -> RouterHandle:
+    def submit(
+        self, model: str, image: np.ndarray, deadline: float | None = None
+    ) -> RouterHandle:
         """Route one ``(C, H, W)`` image to ``model``'s server.
 
         Raises :class:`~repro.serve.server.QueueFull` when that model's
         admission bound is reached (the request is shed, never enqueued).
+        ``deadline`` is an absolute clock reading forwarded to the server
+        (see :meth:`Server.submit`).
         """
-        return RouterHandle(model, self._require(model).submit(image))
+        return RouterHandle(model, self._require(model).submit(image, deadline))
 
     def result(self, handle: RouterHandle) -> RequestResult | None:
         return self._require(handle.model).result(handle.request_id)
+
+    def status(self, handle: RouterHandle) -> RequestStatus:
+        """Lifecycle state of a routed request (see :meth:`Server.status`)."""
+        return self._require(handle.model).status(handle.request_id)
 
     def wait_result(self, handle: RouterHandle, timeout: float = 10.0) -> RequestResult:
         return self._require(handle.model).wait_result(handle.request_id, timeout)
@@ -317,4 +333,6 @@ class Router:
             per_model=per_model,
             per_model_cache=per_model_cache,
             fused_layers=sum(m.fused_layers for m in per_model.values()),
+            shed_deadline=sum(m.shed_deadline for m in per_model.values()),
+            deadline_misses=sum(m.deadline_misses for m in per_model.values()),
         )

@@ -1,0 +1,594 @@
+"""Transport-agnostic scheduling core of the serving tier.
+
+Pure policy objects: no threads, no locks, no wall clock.  Every method
+takes ``now`` explicitly (or consumes clock *readings* recorded by the
+caller), so a policy's full decision sequence is replayable from a request
+trace — unit tests and the ``bench_async_gateway`` simulations drive these
+classes with a virtual clock and get bit-identical schedules on any
+machine.  The transports (:class:`repro.serve.server.Server`, the asyncio
+:class:`repro.serve.gateway.AsyncGateway`) own the locks/event loops and
+consult the core for every decision:
+
+- :class:`AdmissionPolicy` — bounded pending queue + backpressure: reject
+  (shed at the door) instead of letting an overloaded queue grow without
+  bound;
+- :class:`BucketPolicy` — batch-size selection; in ``adaptive`` mode the
+  target bucket follows an EWMA of the observed arrival rate (the expected
+  number of batch-mates one flush window supplies): small buckets under
+  light load for latency, large under heavy load for throughput — the
+  MLPerf single-stream vs server scenario trade expressed as one knob;
+- :class:`ShedPolicy` — deadline-aware load shedding: drop requests whose
+  latency budget is already blown (``deadline < now + exec_estimate``)
+  rather than the newest arrival, which still has its whole budget ahead
+  of it;
+- :class:`FairnessPolicy` — deficit round robin between models, so a heavy
+  model's long batches cannot monopolise the execution lane and ruin a
+  light model's p95 (``fifo`` mode is the ablation baseline: strict
+  arrival order, no isolation);
+- :class:`SchedCore` — the composite the transports drive: per-model
+  shape-keyed queues, admission with deadline-aware displacement,
+  fairness-ordered batch formation, and the next-timer computation an
+  event loop needs.
+"""
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AdmissionPolicy",
+    "Batch",
+    "BucketPolicy",
+    "FairnessPolicy",
+    "SchedCore",
+    "SchedRequest",
+    "ShedPolicy",
+    "SubmitOutcome",
+]
+
+
+@dataclass
+class SchedRequest:
+    """One queued request as the scheduling core sees it.
+
+    ``payload`` is opaque to the core (the transports stash the image
+    there); ``deadline`` is an *absolute* clock reading in the same time
+    base as every ``now`` handed to the core.
+    """
+
+    id: int
+    model: str
+    shape: tuple
+    arrived_at: float
+    deadline: float | None = None
+    payload: object = None
+
+
+@dataclass
+class Batch:
+    """One schedulable unit: requests of one (model, shape) padded to
+    ``bucket`` slots, costed for the fairness accounting."""
+
+    model: str
+    shape: tuple
+    requests: list[SchedRequest]
+    bucket: int
+    cost: float
+
+
+@dataclass
+class SubmitOutcome:
+    """What admission decided: ``accepted`` (with the enqueued request) or
+    not, plus any blown-budget victims displaced to make room."""
+
+    accepted: bool
+    request: SchedRequest | None
+    displaced: list[SchedRequest] = field(default_factory=list)
+
+
+class AdmissionPolicy:
+    """Bounded-queue backpressure: at most ``max_pending`` queued requests.
+
+    The policy itself is just the bound and the rejection counter; *what*
+    to do at capacity (reject the newcomer, or displace a blown-budget
+    victim first) is composed in :meth:`SchedCore.submit` from the
+    :class:`ShedPolicy`.
+    """
+
+    def __init__(self, max_pending: int | None = None) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1 or None, got {max_pending}")
+        self.max_pending = max_pending
+        self.rejected = 0
+
+    def at_capacity(self, pending: int) -> bool:
+        return self.max_pending is not None and pending >= self.max_pending
+
+    def reject(self) -> None:
+        self.rejected += 1
+
+    def admit(self, pending: int) -> bool:
+        """Convenience for transports without displacement: accept, or
+        count one rejection and return ``False``."""
+        if self.at_capacity(pending):
+            self.reject()
+            return False
+        return True
+
+
+class BucketPolicy:
+    """Batch-size selection, optionally adapted to the arrival rate.
+
+    Fixed mode (``adaptive=False``) always targets the largest configured
+    bucket — the original :class:`~repro.serve.server.Server` behaviour,
+    preserved bit-for-bit.  Adaptive mode tracks an EWMA of the
+    inter-arrival gap and targets the smallest configured bucket that the
+    expected arrivals of one flush window (``rate * max_latency``) can
+    fill: under light load a request stops waiting for batch-mates that
+    are not coming (latency), under heavy load batches grow to amortise
+    per-batch overhead (throughput).  The analytic cross-check lives in
+    :func:`repro.gpusim.timeline.optimal_bucket`.
+    """
+
+    def __init__(
+        self,
+        bucket_sizes: tuple[int, ...] = (1, 2, 4, 8),
+        max_latency: float = 0.01,
+        adaptive: bool = False,
+        alpha: float = 0.25,
+    ) -> None:
+        if not bucket_sizes or any(b < 1 for b in bucket_sizes):
+            raise ValueError(f"bucket_sizes must be positive, got {bucket_sizes}")
+        if max_latency <= 0:
+            raise ValueError(f"max_latency must be positive, got {max_latency}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.bucket_sizes = tuple(sorted(set(bucket_sizes)))
+        self.max_latency = max_latency
+        self.adaptive = adaptive
+        self.alpha = alpha
+        self._gap_ewma: float | None = None
+        self._last_arrival: float | None = None
+
+    @property
+    def max_bucket(self) -> int:
+        return self.bucket_sizes[-1]
+
+    def fit_bucket(self, n: int) -> int:
+        """Smallest configured bucket that fits ``n`` requests."""
+        for size in self.bucket_sizes:
+            if n <= size:
+                return size
+        return self.max_bucket
+
+    def observe_arrival(self, now: float) -> None:
+        """Fold one arrival into the inter-arrival EWMA."""
+        if self._last_arrival is not None:
+            gap = max(now - self._last_arrival, 1e-9)
+            if self._gap_ewma is None:
+                self._gap_ewma = gap
+            else:
+                self._gap_ewma += self.alpha * (gap - self._gap_ewma)
+        self._last_arrival = now
+
+    def arrival_rate(self) -> float:
+        """Smoothed arrivals/second (0.0 until two arrivals were seen)."""
+        if self._gap_ewma is None:
+            return 0.0
+        return 1.0 / self._gap_ewma
+
+    def target_bucket(self) -> int:
+        """The bucket size batches should currently aim for."""
+        if not self.adaptive:
+            return self.max_bucket
+        expected = self.arrival_rate() * self.max_latency
+        for size in self.bucket_sizes:
+            # Relative tolerance so a rate that is *exactly* size/window
+            # (up to float rounding of the gap EWMA) picks that bucket
+            # rather than jumping a tier.
+            if size >= expected * (1.0 - 1e-9):
+                return size
+        return self.max_bucket
+
+
+class ShedPolicy:
+    """Which queued request to drop when load must be shed.
+
+    ``deadline`` (the policy this tier exists for): a request is *blown*
+    once ``deadline < now + exec_estimate`` — even starting it right now
+    could not meet its SLO, so executing (or keeping) it wastes capacity
+    that viable requests need.  ``newest`` is the naive baseline: the
+    arriving request is refused, although it is precisely the one with its
+    whole budget left.  A request *exactly at* its deadline
+    (``deadline == now`` with a zero estimate) is still viable — blown-ness
+    is strict.
+    """
+
+    POLICIES = ("deadline", "newest")
+
+    def __init__(self, policy: str = "deadline", exec_estimate: float = 0.0) -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(f"policy must be one of {self.POLICIES}, got {policy!r}")
+        if exec_estimate < 0:
+            raise ValueError(f"exec_estimate must be >= 0, got {exec_estimate}")
+        self.policy = policy
+        self.exec_estimate = exec_estimate
+
+    def blown(self, request: SchedRequest, now: float,
+              exec_estimate: float | None = None) -> bool:
+        if request.deadline is None:
+            return False
+        estimate = self.exec_estimate if exec_estimate is None else exec_estimate
+        return request.deadline < now + estimate
+
+    def split_blown(
+        self, requests, now: float, exec_estimate: float | None = None
+    ) -> tuple[list[SchedRequest], list[SchedRequest]]:
+        """Partition ``requests`` into (viable, blown)."""
+        viable, blown = [], []
+        for request in requests:
+            (blown if self.blown(request, now, exec_estimate) else viable).append(
+                request
+            )
+        return viable, blown
+
+
+class FairnessPolicy:
+    """Deficit round robin between models (``fifo`` is the ablation).
+
+    Each call to :meth:`select` picks one batch to run next.  DRR keeps a
+    per-model deficit counter in *cost* units (the caller prices batches,
+    e.g. padded bucket size x per-request cost): a model is visited in
+    round-robin order, earns ``quantum`` per visit, and runs when its
+    deficit covers its next batch — so over any window each active model
+    receives service proportional to its quantum regardless of how
+    expensive the other models' batches are.  A model whose queue empties
+    leaves the round and forfeits its deficit (standard DRR, which is what
+    keeps an idle model from hoarding credit and bursting later).  ``fifo``
+    serves whichever model's head request arrived first — no isolation,
+    the baseline the fairness ablation in ``bench_async_gateway`` measures
+    against.
+    """
+
+    MODES = ("drr", "fifo")
+
+    def __init__(self, mode: str = "drr", quantum: float = 1.0) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        self.mode = mode
+        self.quantum = quantum
+        self._order: list[str] = []
+        self._deficit: dict[str, float] = {}
+        self._ptr = 0
+        self._turn: str | None = None
+
+    def deficit(self, model: str) -> float:
+        return self._deficit.get(model, 0.0)
+
+    def select(self, candidates: dict[str, tuple[float, float]]) -> str | None:
+        """Choose (and charge) the model whose batch runs next.
+
+        ``candidates`` maps each model with a runnable batch to
+        ``(cost, head_arrived_at)``.  Returns ``None`` only when empty.
+        """
+        if not candidates:
+            return None
+        if self.mode == "fifo":
+            return min(candidates, key=lambda m: (candidates[m][1], m))
+        # Sync the active set: departures leave the round (deficit forfeited,
+        # pointer adjusted so the rotation order is undisturbed), arrivals
+        # join at the tail with zero credit.
+        for model in [m for m in self._order if m not in candidates]:
+            index = self._order.index(model)
+            del self._order[index]
+            del self._deficit[model]
+            if index < self._ptr:
+                self._ptr -= 1
+            if self._turn == model:
+                self._turn = None
+        for model in sorted(candidates):
+            if model not in self._deficit:
+                self._order.append(model)
+                self._deficit[model] = 0.0
+        count = len(self._order)
+        self._ptr %= count
+        # An open turn keeps running while its banked deficit covers the
+        # next batch — without earning new quantum for staying.
+        if self._turn is not None:
+            cost = candidates[self._turn][0]
+            if self._deficit[self._turn] >= cost:
+                self._deficit[self._turn] -= cost
+                return self._turn
+            self._ptr = (self._order.index(self._turn) + 1) % count
+            self._turn = None
+        max_cost = max(cost for cost, _ in candidates.values())
+        rounds = count * (int(max_cost / self.quantum) + 2)
+        for _ in range(rounds):
+            model = self._order[self._ptr]
+            self._deficit[model] += self.quantum
+            cost = candidates[model][0]
+            if self._deficit[model] >= cost:
+                self._deficit[model] -= cost
+                self._turn = model
+                return model
+            self._ptr = (self._ptr + 1) % count
+        raise RuntimeError("DRR failed to converge")  # pragma: no cover
+
+    def charge(self, model: str, cost: float) -> None:
+        """Charge out-of-band work (a transport that executed without
+        :meth:`select`, e.g. an inline full-bucket flush)."""
+        if model in self._deficit:
+            self._deficit[model] -= cost
+
+
+@dataclass
+class _ModelState:
+    """Per-model queues, policies and shed/reject accounting."""
+
+    name: str
+    admission: AdmissionPolicy
+    buckets: BucketPolicy
+    request_cost: float
+    exec_estimate: float
+    queues: dict[tuple, deque] = field(default_factory=dict)
+    pending: int = 0
+    shed_deadline: int = 0
+
+
+class SchedCore:
+    """The composite scheduling brain the transports drive.
+
+    Holds per-model shape-keyed queues and the four policies; every method
+    is synchronous, lock-free and takes ``now`` — the asyncio gateway calls
+    it from its (single-threaded) event loop, the deterministic benchmarks
+    call it from a virtual-clock simulation, and both observe the identical
+    schedule.
+    """
+
+    def __init__(
+        self,
+        bucket_sizes: tuple[int, ...] = (1, 2, 4, 8),
+        max_latency: float = 0.01,
+        max_pending: int | None = None,
+        adaptive_buckets: bool = True,
+        shed_policy: str = "deadline",
+        fairness: str = "drr",
+        quantum: float | None = None,
+        alpha: float = 0.25,
+    ) -> None:
+        self._defaults = dict(
+            bucket_sizes=tuple(bucket_sizes),
+            max_latency=max_latency,
+            max_pending=max_pending,
+            adaptive=adaptive_buckets,
+            alpha=alpha,
+        )
+        self.shed = ShedPolicy(policy=shed_policy)
+        self.fairness = FairnessPolicy(
+            mode=fairness,
+            quantum=float(max(bucket_sizes)) if quantum is None else quantum,
+        )
+        self._models: dict[str, _ModelState] = {}
+        self._ids = itertools.count()
+
+    # -- registration ----------------------------------------------------------
+
+    def add_model(
+        self,
+        name: str,
+        bucket_sizes: tuple[int, ...] | None = None,
+        max_latency: float | None = None,
+        max_pending: int | None = None,
+        request_cost: float = 1.0,
+        exec_estimate: float = 0.0,
+    ) -> None:
+        """Register a model's queues and per-model policy knobs.
+
+        ``request_cost`` prices one padded batch slot for the DRR
+        accounting (relative units — a model whose batches take ~20x
+        longer should cost ~20x).  ``exec_estimate`` is the expected batch
+        execution time the deadline shed uses to call a budget blown
+        *before* wasting the execution.
+        """
+        if name in self._models:
+            raise ValueError(f"model {name!r} already registered")
+        if request_cost <= 0:
+            raise ValueError(f"request_cost must be positive, got {request_cost}")
+        defaults = self._defaults
+        self._models[name] = _ModelState(
+            name=name,
+            admission=AdmissionPolicy(
+                defaults["max_pending"] if max_pending is None else max_pending
+            ),
+            buckets=BucketPolicy(
+                bucket_sizes or defaults["bucket_sizes"],
+                max_latency if max_latency is not None else defaults["max_latency"],
+                adaptive=defaults["adaptive"],
+                alpha=defaults["alpha"],
+            ),
+            request_cost=request_cost,
+            exec_estimate=exec_estimate,
+        )
+
+    def models(self) -> tuple[str, ...]:
+        return tuple(self._models)
+
+    def _require(self, name: str) -> _ModelState:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise KeyError(
+                f"no model {name!r} registered; have {sorted(self._models)}"
+            ) from None
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        model: str,
+        shape: tuple,
+        now: float,
+        deadline: float | None = None,
+        payload: object = None,
+    ) -> SubmitOutcome:
+        """Admit one request, or say why not.
+
+        At capacity, the ``deadline`` shed policy first displaces queued
+        requests whose budget is already blown (they could not be served in
+        time anyway) and admits the newcomer into the freed slot; only a
+        queue full of *viable* work rejects it (backpressure).  The
+        ``newest`` policy rejects the newcomer outright — the classic
+        tail-drop whose cost the shed ablation measures.
+        """
+        state = self._require(model)
+        state.buckets.observe_arrival(now)
+        displaced: list[SchedRequest] = []
+        if state.admission.at_capacity(state.pending):
+            if self.shed.policy == "deadline":
+                displaced = self._shed_blown(state, now)
+            if state.admission.at_capacity(state.pending):
+                state.admission.reject()
+                return SubmitOutcome(False, None, displaced)
+        request = SchedRequest(
+            id=next(self._ids), model=model, shape=tuple(shape),
+            arrived_at=now, deadline=deadline, payload=payload,
+        )
+        state.queues.setdefault(request.shape, deque()).append(request)
+        state.pending += 1
+        return SubmitOutcome(True, request, displaced)
+
+    # -- shedding --------------------------------------------------------------
+
+    def _shed_blown(self, state: _ModelState, now: float) -> list[SchedRequest]:
+        victims: list[SchedRequest] = []
+        for shape, queue in state.queues.items():
+            viable, blown = self.shed.split_blown(queue, now, state.exec_estimate)
+            if blown:
+                queue.clear()
+                queue.extend(viable)
+                victims.extend(blown)
+        state.pending -= len(victims)
+        state.shed_deadline += len(victims)
+        return victims
+
+    def shed_blown(self, now: float) -> list[SchedRequest]:
+        """Drop every queued request whose latency budget is already blown
+        (``deadline`` policy only; no-op under ``newest``).  Returns the
+        victims so the transport can fail their waiters."""
+        if self.shed.policy != "deadline":
+            return []
+        victims: list[SchedRequest] = []
+        for state in self._models.values():
+            victims.extend(self._shed_blown(state, now))
+        return victims
+
+    def shed_all(self) -> list[SchedRequest]:
+        """Drain every queue unexecuted (shutdown without drain)."""
+        victims: list[SchedRequest] = []
+        for state in self._models.values():
+            for queue in state.queues.values():
+                victims.extend(queue)
+                queue.clear()
+            state.pending = 0
+        return victims
+
+    # -- batch formation -------------------------------------------------------
+
+    def _ready_shape(
+        self, state: _ModelState, now: float, force: bool
+    ) -> tuple | None:
+        """The model's due shape with the oldest head request, if any."""
+        best_shape, best_age = None, None
+        target = state.buckets.target_bucket()
+        for shape, queue in state.queues.items():
+            if not queue:
+                continue
+            head_age = now - queue[0].arrived_at
+            due = force or len(queue) >= target \
+                or head_age >= state.buckets.max_latency
+            if due and (best_age is None or head_age > best_age):
+                best_shape, best_age = shape, head_age
+        return best_shape
+
+    def next_batch(self, now: float, force: bool = False) -> Batch | None:
+        """Form the one batch that should execute next, in fairness order.
+
+        A (model, shape) queue is *due* when it can fill the model's
+        current target bucket, its head request has waited ``max_latency``,
+        or ``force`` (drain) is set.  Overdue/drained queues batch up to
+        the model's max bucket (the remainder must not wait another
+        window); full-trigger queues batch exactly the target.  Returns
+        ``None`` when nothing is due — call again after
+        :meth:`next_event`.
+        """
+        candidates: dict[str, tuple[float, float]] = {}
+        picks: dict[str, tuple[tuple, int, int]] = {}
+        for name, state in self._models.items():
+            shape = self._ready_shape(state, now, force)
+            if shape is None:
+                continue
+            queue = state.queues[shape]
+            target = state.buckets.target_bucket()
+            overdue = force or now - queue[0].arrived_at >= state.buckets.max_latency
+            take = min(len(queue), state.buckets.max_bucket if overdue else target)
+            bucket = state.buckets.fit_bucket(take)
+            candidates[name] = (
+                state.request_cost * bucket, queue[0].arrived_at,
+            )
+            picks[name] = (shape, take, bucket)
+        winner = self.fairness.select(candidates)
+        if winner is None:
+            return None
+        state = self._models[winner]
+        shape, take, bucket = picks[winner]
+        queue = state.queues[shape]
+        requests = [queue.popleft() for _ in range(take)]
+        state.pending -= take
+        return Batch(
+            model=winner, shape=shape, requests=requests, bucket=bucket,
+            cost=candidates[winner][0],
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def next_event(self, now: float) -> float | None:
+        """Earliest clock reading at which a new decision becomes possible:
+        a head request's flush deadline, or (under the ``deadline`` shed
+        policy) the earliest request deadline.  ``None`` when idle."""
+        events: list[float] = []
+        for state in self._models.values():
+            for queue in state.queues.values():
+                if not queue:
+                    continue
+                events.append(queue[0].arrived_at + state.buckets.max_latency)
+                if self.shed.policy == "deadline":
+                    deadlines = [
+                        r.deadline for r in queue if r.deadline is not None
+                    ]
+                    if deadlines:
+                        events.append(min(deadlines) - state.exec_estimate)
+        return min(events, default=None)
+
+    def pending_count(self, model: str | None = None) -> int:
+        if model is not None:
+            return self._require(model).pending
+        return sum(state.pending for state in self._models.values())
+
+    def bucket_target(self, model: str) -> int:
+        return self._require(model).buckets.target_bucket()
+
+    def arrival_rate(self, model: str) -> float:
+        return self._require(model).buckets.arrival_rate()
+
+    def stats(self, model: str) -> dict:
+        state = self._require(model)
+        return {
+            "pending": state.pending,
+            "rejected": state.admission.rejected,
+            "shed_deadline": state.shed_deadline,
+            "bucket_target": state.buckets.target_bucket(),
+            "arrival_rate": state.buckets.arrival_rate(),
+        }

@@ -1,7 +1,7 @@
-"""The shape-bucketed batching server.
+"""The synchronous shape-bucketed batching server.
 
 Requests are single images.  The server groups pending requests by their
-``(C, H, W)`` shape, and when a shape's queue reaches the largest configured
+``(C, H, W)`` shape, and when a shape's queue reaches the current target
 bucket size — or its oldest request has waited ``max_latency`` — it runs the
 whole group as one batch, padded up to the smallest configured bucket size
 that fits.  Because every (shape, bucket) pair owns a pre-built inference
@@ -9,6 +9,16 @@ that fits.  Because every (shape, bucket) pair owns a pre-built inference
 each batch runs entirely on plan-cache hits, which is exactly what the
 single-flight cache guarantees to stay true under the optional background
 worker thread.
+
+Since the scheduling-core extraction this class is a *transport adapter*:
+the thread/lock/condition plumbing lives here, but every policy decision is
+delegated — admission to :class:`~repro.serve.sched.AdmissionPolicy`,
+bucket triggering to :class:`~repro.serve.sched.BucketPolicy` (fixed at the
+max bucket by default, arrival-rate adaptive with
+``ServerConfig(adaptive_buckets=True)``), deadline shedding to
+:class:`~repro.serve.sched.ShedPolicy` (``shed_policy="deadline"``), and
+batch execution to the shared :class:`~repro.serve.engine.ModelExecutor`.
+Default configuration reproduces the pre-refactor behaviour bit for bit.
 
 Two driving modes:
 
@@ -18,6 +28,9 @@ Two driving modes:
 - **threaded** — :meth:`Server.start` spawns a worker that flushes due
   buckets in the background while any number of client threads submit;
   :meth:`Server.wait_result` blocks until a request completes.
+
+The asyncio transport over the same policies and engine is
+:class:`~repro.serve.gateway.AsyncGateway`.
 """
 from __future__ import annotations
 
@@ -26,12 +39,14 @@ import threading
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
+from enum import Enum
 from typing import Callable
 
 import numpy as np
 
-from repro.backend import ModelPlan, plan_cache_owner_stats, plan_cache_stats, plan_owner
-from repro.tensor import Tensor, no_grad
+from repro.backend import plan_cache_owner_stats, plan_cache_stats
+from repro.serve.engine import ModelExecutor
+from repro.serve.sched import AdmissionPolicy, BucketPolicy, ShedPolicy
 
 
 class QueueFull(RuntimeError):
@@ -53,6 +68,27 @@ class RequestShed(RuntimeError):
     """
 
 
+class DeadlineExceeded(RequestShed):
+    """The request was shed because its latency budget was already blown.
+
+    Raised (from :meth:`Server.wait_result`, or the gateway's ``submit``)
+    for requests dropped by the ``deadline`` shed policy: their deadline
+    passed while they were still queued, so executing them could only waste
+    capacity that viable requests need.  Subclasses :class:`RequestShed` —
+    existing "was it shed?" handling keeps working unchanged.
+    """
+
+
+class RequestStatus(str, Enum):
+    """Lifecycle answer of :meth:`Server.status` — disambiguates the
+    ``result() is None`` cases (still pending vs evicted unread)."""
+
+    PENDING = "PENDING"    # queued or executing right now
+    DONE = "DONE"          # completed, result retrievable
+    SHED = "SHED"          # dropped unexecuted (shutdown or deadline shed)
+    EVICTED = "EVICTED"    # completed but its unread result aged out
+
+
 @dataclass
 class Request:
     """One in-flight single-image inference request."""
@@ -60,6 +96,7 @@ class Request:
     id: int
     image: np.ndarray            # (C, H, W)
     submitted_at: float
+    deadline: float | None = None  # absolute clock reading; None = no SLO
 
 
 @dataclass
@@ -71,6 +108,7 @@ class RequestResult:
     latency: float               # submit -> batch completion, seconds
     batch_requests: int          # real requests in the batch it rode in
     bucket_size: int             # planned (padded) batch size
+    queue_wait: float = 0.0      # submit -> batch execution start, seconds
 
 
 @dataclass
@@ -91,6 +129,13 @@ class ServingMetrics:
     shed: int = 0                # pending requests dropped by stop(drain=False)
     exec_seconds_total: float = 0.0  # summed batch execution time (busy time)
     fused_layers: int = 0        # layers serving through fused epilogue plans
+    shed_deadline: int = 0       # requests dropped with their budget blown
+    deadline_misses: int = 0     # completed past their deadline
+    deadline_miss_rate: float = 0.0  # misses / completions that had deadlines
+    queue_wait_mean: float = 0.0  # submit -> execution start (the queue half
+    queue_wait_p95: float = 0.0   # of latency; exec_mean is the other half)
+    exec_mean: float = 0.0       # mean per-batch execution wall time
+    bucket_target: int = 0       # current adaptive bucket target
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -119,6 +164,15 @@ class ServerConfig:
     # Admission control: total queued-but-unexecuted requests this server
     # accepts before submit() sheds with QueueFull.  None = unbounded.
     max_pending: int | None = None
+    # Adaptive bucketing: target the smallest bucket the observed arrival
+    # rate can fill within max_latency (sched.BucketPolicy) instead of
+    # always waiting for the max bucket.  Off by default: the fixed-bucket
+    # behaviour is the bitwise-pinned baseline.
+    adaptive_buckets: bool = False
+    # Load shedding: "deadline" drops queued requests whose deadline already
+    # passed (wait_result raises DeadlineExceeded); None/"newest" keeps the
+    # legacy behaviour (only admission control sheds, at the door).
+    shed_policy: str | None = None
 
     def __post_init__(self) -> None:
         if not self.bucket_sizes or any(b < 1 for b in self.bucket_sizes):
@@ -130,6 +184,11 @@ class ServerConfig:
             raise ValueError("result_capacity and metrics_window must be >= 1")
         if self.max_pending is not None and self.max_pending < 1:
             raise ValueError(f"max_pending must be >= 1 or None, got {self.max_pending}")
+        if self.shed_policy not in (None, *ShedPolicy.POLICIES):
+            raise ValueError(
+                f"shed_policy must be one of {(None, *ShedPolicy.POLICIES)}, "
+                f"got {self.shed_policy!r}"
+            )
 
     @property
     def max_bucket(self) -> int:
@@ -156,7 +215,7 @@ class Server:
         show up in the metrics as ``plan_builds`` (the cold path the
         pre-building exists to avoid).
     config:
-        bucket sizes, flush deadline and admission bound.
+        bucket sizes, flush deadline, admission bound and shed policy.
     clock:
         time source (injectable for deterministic tests).
     name:
@@ -176,38 +235,38 @@ class Server:
         clock: Callable[[], float] = time.perf_counter,
         name: str | None = None,
     ) -> None:
-        self.model = model.eval()
         self.config = config or ServerConfig()
         self.clock = clock
         self.name = name
-        # How many layers dispatch through fused conv->bias/BN->activation
-        # epilogues (repro.nn.fuse_inference); surfaced in the metrics so a
-        # deployment can verify its models actually serve on the fused path.
-        self.fused_layers = sum(
-            1
-            for _, m in self.model.named_modules()
-            if getattr(m, "_fused_epilogue", None) is not None
+        self._engine = ModelExecutor(
+            model, input_shapes=input_shapes,
+            bucket_sizes=self.config.bucket_sizes, name=name,
         )
+        self.model = self._engine.model
+        self.fused_layers = self._engine.fused_layers
+        self._plans = self._engine._plans           # legacy alias
+        self._exec_lock = self._engine.exec_lock    # legacy alias
+        # Policy objects from the scheduling core (transport-agnostic).
+        self._admission = AdmissionPolicy(self.config.max_pending)
+        self._buckets = BucketPolicy(
+            self.config.bucket_sizes, self.config.max_latency,
+            adaptive=self.config.adaptive_buckets,
+        )
+        self._shed_policy = ShedPolicy(self.config.shed_policy or "newest")
         self._ids = itertools.count()
+        self._last_id = -1
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
-        self._exec_lock = threading.Lock()
         self._pending: dict[tuple, list[Request]] = {}
         self._pending_total = 0
+        self._inflight: set[int] = set()  # popped from queue, batch executing
         self._results: OrderedDict[int, RequestResult] = OrderedDict()
         self._waiting: set[int] = set()  # ids with a blocked wait_result()
         self._shed_ids: set[int] = set()
-        self._plans: dict[tuple, ModelPlan] = {}
+        self._deadline_shed_ids: set[int] = set()  # subset of _shed_ids
+        self._evicted_ids: set[int] = set()
         self._worker: threading.Thread | None = None
         self._stopping = False
-
-        with plan_owner(self.name):
-            for shape in input_shapes:
-                for bucket in self.config.bucket_sizes:
-                    self._plans[(tuple(shape), bucket)] = ModelPlan(
-                        self.model, tuple(shape), batch_size=bucket,
-                        include_backward=False,
-                    )
         self.reset_metrics()
 
     # -- metrics --------------------------------------------------------------
@@ -234,7 +293,13 @@ class Server:
             self._completed = 0
             self._rejected = 0
             self._shed = 0
+            self._shed_deadline = 0
+            self._deadline_misses = 0
+            self._deadline_total = 0  # completions that carried a deadline
             self._latencies: deque[float] = deque(maxlen=self.config.metrics_window)
+            self._queue_waits: deque[float] = deque(
+                maxlen=self.config.metrics_window
+            )
             self._batch_records: deque[tuple[int, int]] = deque(  # (requests, bucket)
                 maxlen=self.config.metrics_window
             )
@@ -264,6 +329,7 @@ class Server:
         """
         with self._lock:
             lat = sorted(self._latencies)
+            waits = sorted(self._queue_waits)
             completed = self._completed
             cache = self._cache_counters()
             if any(now < base for now, base in zip(cache, self._cache_base)):
@@ -294,42 +360,65 @@ class Server:
                 shed=self._shed,
                 exec_seconds_total=sum(self._exec_seconds),
                 fused_layers=self.fused_layers,
+                shed_deadline=self._shed_deadline,
+                deadline_misses=self._deadline_misses,
+                deadline_miss_rate=self._deadline_misses / self._deadline_total
+                if self._deadline_total else 0.0,
+                queue_wait_mean=sum(waits) / len(waits) if waits else 0.0,
+                queue_wait_p95=_percentile(waits, 0.95),
+                exec_mean=sum(self._exec_seconds) / len(self._exec_seconds)
+                if self._exec_seconds else 0.0,
+                bucket_target=self._buckets.target_bucket(),
             )
 
     # -- request lifecycle ----------------------------------------------------
 
-    def submit(self, image: np.ndarray) -> int:
+    def submit(self, image: np.ndarray, deadline: float | None = None) -> int:
         """Enqueue one ``(C, H, W)`` image; returns the request id.
 
-        A bucket that reaches the largest configured size is flushed
+        ``deadline`` is an absolute reading of this server's clock by which
+        the request should complete; under ``shed_policy="deadline"`` a
+        request still queued past it is shed (:class:`DeadlineExceeded`
+        from :meth:`wait_result`), and completions past it count in
+        ``ServingMetrics.deadline_misses`` either way.
+
+        A bucket that reaches the current target size is flushed
         immediately (inline in synchronous mode, by the worker in threaded
         mode).  When ``max_pending`` is configured and the queue is at
         capacity the request is shed instead: :class:`QueueFull` is raised
-        and the ``rejected`` counter increments (admission control).
+        and the ``rejected`` counter increments (admission control).  Under
+        the ``deadline`` shed policy, blown-budget victims are displaced
+        first and the newcomer admitted into the freed slot.
         """
         image = np.asarray(image, dtype=np.float32)
         if image.ndim != 3:
             raise ValueError(f"expected one (C, H, W) image, got shape {image.shape}")
         shape = image.shape
         now = self.clock()
-        request = Request(id=next(self._ids), image=image, submitted_at=now)
         run_shape = None
         with self._cond:
-            if (
-                self.config.max_pending is not None
-                and self._pending_total >= self.config.max_pending
-            ):
-                self._rejected += 1
-                raise QueueFull(
-                    f"server queue at capacity ({self._pending_total} pending, "
-                    f"max_pending={self.config.max_pending}); request shed"
-                )
+            if self._admission.at_capacity(self._pending_total):
+                if self._shed_policy.policy == "deadline":
+                    self._shed_blown_locked(now)
+                if self._admission.at_capacity(self._pending_total):
+                    self._rejected += 1
+                    raise QueueFull(
+                        f"server queue at capacity ({self._pending_total} pending, "
+                        f"max_pending={self.config.max_pending}); request shed"
+                    )
+            self._buckets.observe_arrival(now)
+            # The id is allocated only after admission: every id this server
+            # ever handed out names an accepted request, so status() is
+            # well-defined over the whole id space.
+            request = Request(id=next(self._ids), image=image,
+                              submitted_at=now, deadline=deadline)
+            self._last_id = request.id
             if self._window_started is None:
                 self._window_started = now
             queue = self._pending.setdefault(shape, [])
             queue.append(request)
             self._pending_total += 1
-            if len(queue) >= self.config.max_bucket:
+            if len(queue) >= self._buckets.target_bucket():
                 if self._worker is None:
                     run_shape = shape
                 else:
@@ -356,15 +445,22 @@ class Server:
 
     def poll(self, now: float | None = None) -> int:
         """Flush every bucket whose oldest request has exceeded the deadline
-        (and any full bucket); returns the number of batches executed."""
+        (and any full bucket); returns the number of batches executed.
+
+        Under ``shed_policy="deadline"``, queued requests whose own deadline
+        already passed are shed here first — they could not complete in
+        time, so they must not consume a batch slot."""
         now = self.clock() if now is None else now
         due = []
-        with self._lock:
+        with self._cond:
+            if self._shed_policy.policy == "deadline":
+                self._shed_blown_locked(now)
+            target = self._buckets.target_bucket()
             for shape, queue in self._pending.items():
                 if not queue:
                     continue
                 if (
-                    len(queue) >= self.config.max_bucket
+                    len(queue) >= target
                     or now - queue[0].submitted_at >= self.config.max_latency
                 ):
                     due.append(shape)
@@ -380,9 +476,38 @@ class Server:
 
     def result(self, request_id: int) -> RequestResult | None:
         """The completed result for a request id, or ``None`` if it is still
-        pending (or was evicted unread past ``result_capacity``)."""
+        pending (or was evicted unread past ``result_capacity``) — use
+        :meth:`status` to tell those apart."""
         with self._lock:
             return self._results.get(request_id)
+
+    def status(self, request_id: int) -> RequestStatus:
+        """Lifecycle state of a request id this server handed out.
+
+        ``DONE`` — completed, :meth:`result` returns it; ``PENDING`` —
+        queued or executing right now; ``SHED`` — dropped unexecuted
+        (shutdown shed or deadline shed); ``EVICTED`` — completed but its
+        unread result aged out past ``result_capacity`` (or its shed record
+        was trimmed).  Raises :class:`KeyError` for an id this server never
+        issued.
+        """
+        with self._lock:
+            if request_id in self._results:
+                return RequestStatus.DONE
+            if request_id in self._shed_ids:
+                return RequestStatus.SHED
+            if request_id in self._inflight:
+                return RequestStatus.PENDING
+            for queue in self._pending.values():
+                for request in queue:
+                    if request.id == request_id:
+                        return RequestStatus.PENDING
+            if request_id in self._evicted_ids or 0 <= request_id <= self._last_id:
+                # Every issued id was accepted (allocation happens after
+                # admission), so an issued-but-untracked id can only have
+                # aged out of the results/shed retention bounds.
+                return RequestStatus.EVICTED
+        raise KeyError(f"request id {request_id} was never issued by this server")
 
     def wait_result(self, request_id: int, timeout: float = 10.0) -> RequestResult:
         """Block until a request completes (threaded mode).
@@ -391,6 +516,8 @@ class Server:
         eviction.  Register the wait before or soon after submitting: a
         result that went unread past ``result_capacity`` completions
         *before* the waiter arrived has been evicted and times out here.
+        Raises :class:`DeadlineExceeded` for deadline-shed requests and
+        :class:`RequestShed` for shutdown-shed ones.
         """
         deadline = time.monotonic() + timeout
         with self._cond:
@@ -398,6 +525,11 @@ class Server:
             try:
                 while request_id not in self._results:
                     if request_id in self._shed_ids:
+                        if request_id in self._deadline_shed_ids:
+                            raise DeadlineExceeded(
+                                f"request {request_id} was shed: its deadline "
+                                f"passed while it was still queued"
+                            )
                         raise RequestShed(
                             f"request {request_id} was shed on shutdown before executing"
                         )
@@ -412,64 +544,46 @@ class Server:
                 self._waiting.discard(request_id)
 
     def was_shed(self, request_id: int) -> bool:
-        """Whether a request was dropped (unexecuted) by ``stop(drain=False)``."""
+        """Whether a request was dropped unexecuted (shutdown or deadline shed)."""
         with self._lock:
             return request_id in self._shed_ids
 
     # -- batch execution ------------------------------------------------------
 
-    def _plan_for(self, shape: tuple, bucket: int) -> ModelPlan:
-        key = (tuple(shape), bucket)
-        plan = self._plans.get(key)
-        if plan is None:
-            # Cold path: unseen shape/bucket.  Visible in metrics via the
-            # plan-cache build counter.  The build runs probe forwards (and
-            # registers hooks) on the shared model, so it must not overlap
-            # an in-flight batch: take the execution lock.
-            with self._exec_lock:
-                with self._lock:
-                    plan = self._plans.get(key)
-                if plan is None:
-                    with plan_owner(self.name):
-                        plan = ModelPlan(self.model, tuple(shape), batch_size=bucket,
-                                         include_backward=False)
-                    with self._lock:
-                        self._plans.setdefault(key, plan)
-                        plan = self._plans[key]
-        return plan
+    def _plan_for(self, shape: tuple, bucket: int):
+        return self._engine.plan_for(shape, bucket)
 
     def _flush_shape(self, shape: tuple, drain: bool = False) -> int:
-        """Run one shape's queue as max-size batches; returns batches run.
+        """Run one shape's queue as batches; returns batches run.
 
-        ``drain=False`` (the full-bucket fast path off ``submit``) stops once
-        no full bucket remains — sub-bucket remainders wait for their
-        deadline.  ``drain=True`` (``poll``/``flush``) empties the queue,
+        ``drain=False`` (the full-bucket fast path off ``submit``) stops
+        once the queue cannot fill the current target bucket — sub-target
+        remainders wait for their deadline.  ``drain=True``
+        (``poll``/``flush``) empties the queue in max-bucket batches,
         remainder included.
         """
         batches = 0
         while True:
             with self._lock:
                 queue = self._pending.get(shape)
-                if not queue or (not drain and len(queue) < self.config.max_bucket):
+                target = self._buckets.target_bucket()
+                if not queue or (not drain and len(queue) < target):
                     return batches
-                take = min(len(queue), self.config.max_bucket)
+                take = min(len(queue), self.config.max_bucket if drain else target)
                 requests = queue[:take]
                 del queue[:take]
                 self._pending_total -= take
+                self._inflight.update(r.id for r in requests)
             self._run_batch(shape, requests)
             batches += 1
 
     def _run_batch(self, shape: tuple, requests: list[Request]) -> None:
         n = len(requests)
         bucket = self.config.bucket_for(n)
-        plan = self._plan_for(shape, bucket)
-        with self._exec_lock:
-            exec_start = time.perf_counter()
-            batch = plan.stage_batch(np.stack([r.image for r in requests]))
-            with no_grad(), plan_owner(self.name):
-                out = self.model(Tensor(batch)).data
-            exec_seconds = time.perf_counter() - exec_start
-            done = self.clock()
+        out, timing = self._engine.run(
+            [r.image for r in requests], bucket, clock=self.clock
+        )
+        done = timing.finished
         with self._cond:
             for i, request in enumerate(requests):
                 self._results[request.id] = RequestResult(
@@ -478,8 +592,17 @@ class Server:
                     latency=done - request.submitted_at,
                     batch_requests=n,
                     bucket_size=bucket,
+                    queue_wait=timing.started - request.submitted_at,
                 )
                 self._latencies.append(done - request.submitted_at)
+                self._queue_waits.append(timing.started - request.submitted_at)
+                self._inflight.discard(request.id)
+                if request.deadline is not None:
+                    self._deadline_total += 1
+                    # Finishing exactly at the deadline meets the SLO;
+                    # only strictly-later completions are misses.
+                    if done > request.deadline:
+                        self._deadline_misses += 1
             self._completed += n
             # Bound unread-result retention: a long-running server must not
             # accumulate output rows forever if clients never fetch them.
@@ -490,10 +613,52 @@ class Server:
                         break
                     if rid not in self._waiting:
                         del self._results[rid]
+                        self._evicted_ids.add(rid)
+                if len(self._evicted_ids) > self.config.result_capacity:
+                    self._evicted_ids = set(
+                        sorted(self._evicted_ids)[-self.config.result_capacity:]
+                    )
             self._batch_records.append((n, bucket))
-            self._exec_seconds.append(exec_seconds)
+            self._exec_seconds.append(timing.exec_seconds)
             self._window_finished = done
             self._cond.notify_all()
+
+    # -- shedding -------------------------------------------------------------
+
+    def _shed_blown_locked(self, now: float) -> int:
+        """Drop queued requests whose deadline already passed (lock held).
+
+        The shed is reported, never silent: victims land in ``_shed_ids``
+        (so :meth:`was_shed`/:meth:`status` see them) and in the deadline
+        subset (so :meth:`wait_result` raises :class:`DeadlineExceeded`),
+        and blocked waiters are woken.
+        """
+        victims: list[Request] = []
+        for queue in self._pending.values():
+            keep = [r for r in queue if not self._shed_policy.blown(r, now)]
+            if len(keep) != len(queue):
+                victims.extend(r for r in queue if self._shed_policy.blown(r, now))
+                queue[:] = keep
+        if not victims:
+            return 0
+        for request in victims:
+            self._shed_ids.add(request.id)
+            self._deadline_shed_ids.add(request.id)
+        self._shed_deadline += len(victims)
+        self._pending_total -= len(victims)
+        self._trim_shed_ids_locked()
+        self._cond.notify_all()  # wake waiters so they see DeadlineExceeded
+        return len(victims)
+
+    def _trim_shed_ids_locked(self) -> None:
+        # Same retention bound as unread results: repeated shed cycles on a
+        # long-lived server must not grow the sets forever.  Request ids are
+        # monotonic, so "oldest" is "smallest".
+        if len(self._shed_ids) > self.config.result_capacity:
+            self._shed_ids = set(
+                sorted(self._shed_ids)[-self.config.result_capacity:]
+            )
+            self._deadline_shed_ids &= self._shed_ids
 
     # -- threaded mode --------------------------------------------------------
 
@@ -542,13 +707,7 @@ class Server:
                     self._shed += 1
                 queue.clear()
             self._pending_total = 0
-            # Same retention bound as unread results: repeated shed/restart
-            # cycles on a long-lived server must not grow the set forever.
-            # Request ids are monotonic, so "oldest" is "smallest".
-            if len(self._shed_ids) > self.config.result_capacity:
-                self._shed_ids = set(
-                    sorted(self._shed_ids)[-self.config.result_capacity:]
-                )
+            self._trim_shed_ids_locked()
             self._cond.notify_all()  # wake waiters so they see RequestShed
 
     def _worker_loop(self) -> None:

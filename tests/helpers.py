@@ -1,9 +1,29 @@
-"""Shared test utilities: float64 numerical gradient checking."""
+"""Shared test utilities: numerical gradient checking + condition waits."""
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
+
+
+def wait_for(
+    predicate: Callable[[], bool], timeout: float = 10.0, interval: float = 0.001
+) -> None:
+    """Poll ``predicate`` until true, failing the test after ``timeout``.
+
+    The standard replacement for fixed-count ``time.sleep`` spin loops when
+    a test must wait on another *thread* (never on scheduling policy —
+    policy tests inject a virtual clock instead): the deadline scales to
+    loaded CI runners while the fast path returns in one poll.
+    """
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                f"condition not met within {timeout}s: {predicate}"
+            )
+        time.sleep(interval)
 
 
 def numerical_grad(

@@ -332,10 +332,9 @@ def test_clear_during_inflight_build_keeps_owner_table_consistent():
 
     thread = threading.Thread(target=runner)
     thread.start()
-    for _ in range(200):
-        if cache.stats()["in_flight"]:
-            break
-        time.sleep(0.001)
+    from tests.helpers import wait_for
+
+    wait_for(lambda: cache.stats()["in_flight"])  # the build is in flight
     cache.clear()
     release.set()
     thread.join()

@@ -304,3 +304,41 @@ def test_router_stop_without_drain_sheds_and_reports():
         router.wait_result(handles[0], timeout=1.0)
     metrics = router.metrics()
     assert metrics.shed == 3 and metrics.completed == 0
+
+
+def test_router_status_passthrough():
+    from repro.serve import RequestStatus
+
+    router = _router(bucket_sizes=(8,))
+    pending = router.submit("narrow", _images(1, seed=50)[0])
+    assert router.status(pending) == RequestStatus.PENDING
+    router.flush()
+    assert router.status(pending) == RequestStatus.DONE
+    shed = router.submit("wide", _images(1, seed=51)[0])
+    router.stop(drain=False)
+    assert router.status(shed) == RequestStatus.SHED
+    with pytest.raises(KeyError, match="never issued"):
+        router.status(type(pending)("narrow", 10_000))
+
+
+def test_router_forwards_deadlines_and_aggregates_slo_metrics():
+    clock = [0.0]
+    router = Router(
+        server_config=ServerConfig(bucket_sizes=(4,), max_latency=10.0,
+                                   shed_policy="deadline"),
+        clock=lambda: clock[0], overlap=False,
+    )
+    router.register("narrow", "mobilenet", input_shapes=[INPUT],
+                    scheme="scc", width_mult=0.25, seed=11)
+    blown = router.submit("narrow", _images(1, seed=52)[0], deadline=1.0)
+    kept = router.submit("narrow", _images(1, seed=53)[0], deadline=100.0)
+    clock[0] = 2.0
+    router.poll()                       # sheds the blown request only
+    assert router.was_shed(blown) and not router.was_shed(kept)
+    clock[0] = 12.0
+    router.poll()                       # flushes the survivor on max_latency
+    assert router.result(kept) is not None
+    metrics = router.metrics()
+    assert metrics.shed_deadline == 1
+    assert metrics.deadline_misses == 0
+    assert metrics.per_model["narrow"].shed_deadline == 1

@@ -163,7 +163,7 @@ def test_waited_results_survive_capacity_eviction():
     # A result someone is blocked in wait_result() on must not be evicted
     # by result_capacity — otherwise the waiter times out on a request
     # that actually completed.
-    import time
+    from tests.helpers import wait_for
 
     model = _model()
     server = Server(model, input_shapes=[INPUT],
@@ -175,11 +175,12 @@ def test_waited_results_survive_capacity_eviction():
         target=lambda: got.update(result=server.wait_result(ids[0], timeout=10.0))
     )
     waiter.start()
-    for _ in range(200):                   # until the waiter has registered
+
+    def _waiter_registered():
         with server._lock:
-            if ids[0] in server._waiting:
-                break
-        time.sleep(0.001)
+            return ids[0] in server._waiting
+
+    wait_for(_waiter_registered)
     server.flush()                         # publishes 7 results, capacity 4
     waiter.join()
     assert got["result"].id == ids[0]      # waited result survived eviction
@@ -324,6 +325,7 @@ def test_shed_id_retention_is_bounded():
 
 def test_shed_wakes_blocked_waiters():
     from repro.serve import RequestShed
+    from tests.helpers import wait_for
 
     model = _model()
     server = Server(model, input_shapes=[INPUT],
@@ -336,12 +338,12 @@ def test_shed_wakes_blocked_waiters():
         )
     )
     waiter.start()
-    for _ in range(200):
+
+    def _waiter_registered():
         with server._lock:
-            if rid in server._waiting:
-                break
-        import time
-        time.sleep(0.001)
+            return rid in server._waiting
+
+    wait_for(_waiter_registered)
     server.stop(drain=False)
     waiter.join(5.0)
     assert not waiter.is_alive() and len(caught) == 1
@@ -366,6 +368,163 @@ def test_admission_control_bounds_server_queue():
     assert metrics.rejected == 1 and metrics.completed == 3
     with pytest.raises(ValueError, match="max_pending"):
         ServerConfig(max_pending=0)
+
+
+# ---------------------------------------------------------------------------
+# Request lifecycle: status(), deadlines, queue-wait split, adaptive buckets
+# ---------------------------------------------------------------------------
+
+def test_status_disambiguates_result_none():
+    # result() is None both for still-pending and for evicted-unread
+    # requests; status() tells them apart (plus DONE and SHED).
+    from repro.serve import RequestStatus
+
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(2,), max_latency=5.0,
+                                        result_capacity=4))
+    # Each full pair flushes inline: 8 complete, the 9th stays queued, and
+    # result_capacity=4 evicts the 4 oldest unread results.
+    ids = [server.submit(im) for im in _images(9, seed=40)]
+    assert server.result(ids[0]) is None
+    assert server.status(ids[0]) == RequestStatus.EVICTED
+    assert server.status(ids[-2]) == RequestStatus.DONE
+    assert server.status(ids[-1]) == RequestStatus.PENDING  # odd one still queued
+    server.stop(drain=False)
+    assert server.status(ids[-1]) == RequestStatus.SHED
+    with pytest.raises(KeyError, match="never issued"):
+        server.status(10_000)
+
+
+def test_deadline_shed_raises_deadline_exceeded():
+    # Under shed_policy="deadline", a queued request whose absolute deadline
+    # passes is dropped at the next poll — viable queue-mates survive — and
+    # its waiter gets DeadlineExceeded (a RequestShed subclass).
+    from repro.serve import DeadlineExceeded, RequestShed, RequestStatus
+
+    clock = [0.0]
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(4,), max_latency=10.0,
+                                        shed_policy="deadline"),
+                    clock=lambda: clock[0])
+    images = _images(2, seed=41)
+    blown = server.submit(images[0], deadline=1.0)
+    viable = server.submit(images[1], deadline=100.0)
+    clock[0] = 2.0
+    assert server.poll() == 0          # nothing due yet; the blown one shed
+    assert server.was_shed(blown)
+    assert server.status(blown) == RequestStatus.SHED
+    with pytest.raises(DeadlineExceeded, match="deadline"):
+        server.wait_result(blown, timeout=0.1)
+    assert isinstance(DeadlineExceeded("x"), RequestShed)
+    clock[0] = 12.0                    # viable request flushes on max_latency
+    assert server.poll() == 1
+    result = server.result(viable)
+    assert result is not None
+    metrics = server.metrics()
+    assert metrics.shed_deadline == 1
+    assert metrics.completed == 1
+    # The survivor completed within its budget: no deadline miss.
+    assert metrics.deadline_misses == 0 and metrics.deadline_miss_rate == 0.0
+
+
+def test_completion_exactly_at_deadline_is_not_a_miss():
+    # The SLO boundary is inclusive: done == deadline meets it.  A miss
+    # requires strictly-later completion.
+    clock = [0.0]
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(1, 2), max_latency=10.0),
+                    clock=lambda: clock[0])
+    rid = server.submit(_images(1, seed=42)[0], deadline=0.0)
+    server.flush()                     # executes at t=0.0: done == deadline
+    assert server.result(rid) is not None
+    metrics = server.metrics()
+    assert metrics.deadline_misses == 0 and metrics.deadline_miss_rate == 0.0
+
+    late = server.submit(_images(1, seed=43)[0], deadline=1.0)
+    clock[0] = 5.0
+    server.flush()
+    assert server.result(late) is not None    # no shed policy: still executed
+    metrics = server.metrics()
+    assert metrics.deadline_misses == 1 and metrics.deadline_miss_rate == 0.5
+
+
+def test_shed_then_wait_result_race():
+    # wait_result() registered *after* the shed must still raise, not block
+    # to timeout: shed bookkeeping outlives the queue entry.
+    from repro.serve import DeadlineExceeded
+
+    clock = [0.0]
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(4,), max_latency=10.0,
+                                        shed_policy="deadline"),
+                    clock=lambda: clock[0])
+    rid = server.submit(_images(1, seed=44)[0], deadline=0.5)
+    clock[0] = 1.0
+    server.poll()                      # sheds before any waiter exists
+    with pytest.raises(DeadlineExceeded):
+        server.wait_result(rid, timeout=0.1)
+
+
+def test_metrics_split_queue_wait_vs_exec():
+    # latency = queue_wait (submit -> batch start, on the injected clock)
+    # + execution; with a virtual clock the wait component is exact.
+    clock = [0.0]
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(2,), max_latency=1.0),
+                    clock=lambda: clock[0])
+    rid = server.submit(_images(1, seed=45)[0])
+    clock[0] = 2.0
+    server.poll()
+    result = server.result(rid)
+    assert result.queue_wait == pytest.approx(2.0)
+    assert result.latency >= result.queue_wait
+    metrics = server.metrics()
+    assert metrics.queue_wait_mean == pytest.approx(2.0)
+    assert metrics.queue_wait_p95 == pytest.approx(2.0)
+    assert metrics.exec_mean >= 0.0
+    assert metrics.bucket_target == 2  # fixed mode reports the max bucket
+
+
+def test_adaptive_server_shrinks_bucket_under_light_load():
+    # adaptive_buckets=True: sparse arrivals target the smallest bucket, so
+    # a lone request flushes as soon as one batch-mate window passes — and
+    # outputs stay bitwise-equal to the fixed-bucket server (same
+    # bucket_for padding at execution).
+    clock = [0.0]
+    model = _model()
+    server = Server(model, input_shapes=[INPUT],
+                    config=ServerConfig(bucket_sizes=(1, 4), max_latency=1.0,
+                                        adaptive_buckets=True),
+                    clock=lambda: clock[0])
+    images = _images(3, seed=46)
+    # Sparse arrivals: EWMA gap 5s >> max_latency -> target bucket 1, so
+    # every submit triggers an immediate inline flush.
+    outs = []
+    for im in images:
+        rid = server.submit(im)
+        outs.append(server.result(rid))
+        clock[0] += 5.0
+    assert all(r is not None for r in outs)
+    assert server.metrics().bucket_target == 1
+    assert all(r.bucket_size == 1 for r in outs)
+
+    fixed = Server(_model(), input_shapes=[INPUT],
+                   config=ServerConfig(bucket_sizes=(1, 4), max_latency=1.0))
+    for im, adaptive_result in zip(images, outs):
+        rid = fixed.submit(im)
+        fixed.flush()
+        np.testing.assert_array_equal(fixed.result(rid).output,
+                                      adaptive_result.output)
+
+
+def test_server_config_rejects_unknown_shed_policy():
+    with pytest.raises(ValueError, match="shed_policy"):
+        ServerConfig(shed_policy="oldest")
 
 
 # ---------------------------------------------------------------------------
