@@ -18,23 +18,12 @@ def execution_env() -> dict:
 
     Recorded in every result JSON so the perf comparator can refuse to diff
     numbers produced by different kernel backends or pool sizes as if they
-    were the same experiment.
+    were the same experiment.  The same stamp keys the persistent plan
+    database (:mod:`repro.backend.plan_db` is the single source of truth).
     """
-    from repro.backend import REGISTRY, get_num_workers
+    from repro.backend import env_stamp
 
-    backend = REGISTRY.resolve_name("conv2d", "default")
-    # num_workers is *configuration* only when explicitly pinned or when
-    # the active backend actually schedules on the pool; otherwise it just
-    # echoes os.cpu_count() — a machine property, which must not veto
-    # cross-machine ratio diffs in perf_compare's env guard.
-    configured = backend == "threaded" or bool(
-        os.environ.get("REPRO_NUM_WORKERS", "").strip()
-    )
-    return {
-        "backend": backend,
-        "num_workers": get_num_workers() if configured else None,
-        "host_cpus": os.cpu_count() or 1,
-    }
+    return env_stamp()
 
 
 def emit(report_name: str, text: str, data=None) -> str:

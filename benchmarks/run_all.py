@@ -37,6 +37,7 @@ from bench_multimodel_serving import report_multimodel_serving
 from bench_backend_scaling import report_backend_scaling
 from bench_tiled_gemm import report_tiled_gemm
 from bench_async_gateway import report_async_gateway
+from bench_plan_tuner import report_plan_tuner
 
 REPORTS = [
     ("Table I", report_table1),
@@ -61,6 +62,7 @@ REPORTS = [
     ("Backend: threaded scaling", report_backend_scaling),
     ("Backend: tiled contractions", report_tiled_gemm),
     ("Serving: async gateway", report_async_gateway),
+    ("Backend: plan auto-tuner", report_plan_tuner),
 ]
 
 

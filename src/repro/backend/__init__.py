@@ -106,6 +106,14 @@ from repro.backend.plan import (
     pool2d_plan,
     scc_plan,
 )
+from repro.backend.plan_db import (
+    PlanDatabase,
+    active_plan_db,
+    env_stamp,
+    load_plan_db,
+    set_plan_db,
+    use_plan_db,
+)
 from repro.backend.schedule import (
     TileSchedule,
     precision,
@@ -180,6 +188,12 @@ __all__ = [
     "planned_einsum",
     "pool2d_plan",
     "scc_plan",
+    "PlanDatabase",
+    "active_plan_db",
+    "env_stamp",
+    "load_plan_db",
+    "set_plan_db",
+    "use_plan_db",
     "TileSchedule",
     "precision",
     "precision_tier",

@@ -63,8 +63,30 @@ _IN_WORKER = threading.local()         # set while executing a pooled task
 _TRACE_SINK: list | None = None
 
 
+def _usable_cpu_count() -> int:
+    """CPUs this *process* may run on, not CPUs the host has.
+
+    ``os.cpu_count()`` reports the physical host, which overshoots badly in
+    cgroup/affinity-limited environments (a CI container pinned to 2 cores
+    of a 64-core host would get a 64-thread pool — 32x oversubscribed).
+    The scheduler affinity mask is the real bound where the platform
+    exposes it; elsewhere fall back to the host count.
+    """
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return max(1, len(affinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
 def default_num_workers() -> int:
-    """``REPRO_NUM_WORKERS`` when set, else the host's CPU count (>= 1)."""
+    """``REPRO_NUM_WORKERS`` when set, else the usable CPU count (>= 1).
+
+    "Usable" means the process's scheduler-affinity mask where available
+    (cgroup-limited CI runners, ``taskset``), not the raw host CPU count.
+    """
     env = os.environ.get("REPRO_NUM_WORKERS", "").strip()
     if env:
         try:
@@ -76,7 +98,7 @@ def default_num_workers() -> int:
         if value < 1:
             raise ValueError(f"REPRO_NUM_WORKERS must be >= 1, got {value}")
         return value
-    return max(1, os.cpu_count() or 1)
+    return _usable_cpu_count()
 
 
 def get_num_workers() -> int:
@@ -200,6 +222,30 @@ def trace_parallel() -> Iterator[list[RegionTrace]]:
         _TRACE_SINK = None
 
 
+def _is_terminal_submit_error(exc: RuntimeError, executor: ThreadPoolExecutor) -> bool:
+    """Whether a failed ``submit`` can ever succeed by retrying.
+
+    ``ThreadPoolExecutor.submit`` raises ``RuntimeError`` in two very
+    different situations that the resize-retry loops must tell apart:
+
+    - a concurrent :func:`set_num_workers` shut the stale pool down
+      ("cannot schedule new futures after shutdown") — *retryable*:
+      re-fetching the executor yields the freshly built pool;
+    - the interpreter is exiting ("cannot schedule new futures after
+      interpreter shutdown") — *terminal*: no rebuild will ever accept
+      work again, and retrying forever is an infinite spin that hangs
+      process teardown.
+
+    The message check catches the interpreter case explicitly; the
+    identity check catches every other terminal cause (a pool that is dead
+    without anyone having resized it re-resolves to the *same* object, so
+    retrying would re-raise identically forever).
+    """
+    if "interpreter shutdown" in str(exc):
+        return True
+    return _executor() is executor
+
+
 def submit_pooled(fn: Callable[..., Any], /, *args: Any) -> concurrent.futures.Future:
     """Submit one task to the shared pool; returns its future.
 
@@ -224,9 +270,15 @@ def submit_pooled(fn: Callable[..., Any], /, *args: Any) -> concurrent.futures.F
             _IN_WORKER.active = False
 
     while True:
+        executor = _executor()
         try:
-            return _executor().submit(run)
-        except RuntimeError:  # pool resized mid-submit: re-fetch and retry
+            return executor.submit(run)
+        except RuntimeError as exc:
+            # Pool resized mid-submit: re-fetch and retry.  A terminal
+            # failure (interpreter shutdown, or a dead pool nobody rebuilt)
+            # propagates instead of spinning forever.
+            if _is_terminal_submit_error(exc, executor):
+                raise
             continue
 
 
@@ -274,7 +326,10 @@ def parallel_map(
     # Exactly-once submission that survives a concurrent set_num_workers():
     # a resize shuts the stale pool down (making further submits raise
     # RuntimeError) but never cancels already-queued tasks, so on a raise we
-    # resume submitting the *remainder* on the fresh pool.
+    # resume submitting the *remainder* on the fresh pool.  Terminal submit
+    # failures (interpreter shutdown) propagate — see
+    # _is_terminal_submit_error — after waiting out whatever was already
+    # queued, so no in-flight shard outlives the caller.
     futures = []
     remaining = list(tasks)
     while remaining:
@@ -283,7 +338,10 @@ def parallel_map(
             while remaining:
                 futures.append(executor.submit(run, remaining[0]))
                 remaining.pop(0)
-        except RuntimeError:  # pool resized mid-loop: re-fetch and continue
+        except RuntimeError as exc:  # pool resized mid-loop?
+            if _is_terminal_submit_error(exc, executor):
+                concurrent.futures.wait(futures)
+                raise
             continue
     try:
         return [future.result() for future in futures]

@@ -151,7 +151,9 @@ def _build_conv2d_plan(wl: Workload) -> Conv2dPlan:
     wo = conv_out_size(w, kw, stride, padding)
     og = cout // groups
     patch_shape = (n, cin_g, ho, wo, kh, kw)   # per-group patch view
-    sched = conv_schedule(x_shape, w_shape, stride, groups)
+    # The workload key lets an active plan database (REPRO_PLAN_DB) serve
+    # tuned tiles ahead of the static schedule tables.
+    sched = conv_schedule(x_shape, w_shape, stride, groups, workload=wl)
     return Conv2dPlan(
         x_shape=x_shape,
         w_shape=w_shape,
@@ -399,7 +401,7 @@ class SCCPlan:
         return buf
 
 
-def _build_scc_plan(config: "SCCConfig") -> SCCPlan:
+def _build_scc_plan(config: "SCCConfig", wl: Workload) -> SCCPlan:
     # Imported lazily to keep repro.backend import-independent of repro.core
     # (repro.core.scc_kernels imports repro.backend at module level).
     from repro.core.channel_map import (
@@ -429,7 +431,9 @@ def _build_scc_plan(config: "SCCConfig") -> SCCPlan:
         cycle_index=cycle_index,
         segments=segments,
         oid_rows=np.arange(config.out_channels)[:, None],
-        pull_tile=pull_tile_for(config.in_channels, config.out_channels),
+        pull_tile=pull_tile_for(
+            config.in_channels, config.out_channels, workload=wl
+        ),
     )
 
 
@@ -441,4 +445,4 @@ def scc_plan(config: "SCCConfig") -> SCCPlan:
         cg=config.cg,
         co=config.co,
     )
-    return PLAN_CACHE.get_or_build(wl, lambda: _build_scc_plan(config))
+    return PLAN_CACHE.get_or_build(wl, lambda: _build_scc_plan(config, wl))

@@ -34,6 +34,14 @@ combines tiles:
 
 The tier only affects the threaded combine; the ``numpy`` backend is always
 canonical.
+
+**Tuned schedules.**  When a persistent plan database is active
+(``REPRO_PLAN_DB``, see :mod:`repro.backend.plan_db`), workloads the
+auto-tuner has measured resolve their tiles from the database *before* the
+static tables — :func:`conv_schedule` and :func:`pull_tile_for` consult it
+per missing field, so a tuned record may override just ``k_tile`` and
+inherit the static ``gradw_tile``.  No database → the static tables and
+heuristics below, bit-for-bit.
 """
 from __future__ import annotations
 
@@ -41,7 +49,12 @@ import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+from repro.backend.plan_db import tuned_plan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backend.workload import Workload
 
 __all__ = [
     "TileSchedule",
@@ -127,6 +140,18 @@ def _default_tile(extent: int, min_tile: int = 16, target_tiles: int = 4) -> int
     return max(min_tile, -(-extent // target_tiles))
 
 
+def _default_gradw_tile(n: int, min_tile: int = 2, target_tiles: int = 4) -> int:
+    """Batch-tile fallback of the dense grad-weight, with the same
+    minimum-extent guard shape as :func:`_default_tile`: a batch too small
+    to yield two ``min_tile`` tiles stays untiled, and the tile never drops
+    below ``min_tile`` — ``ceil(n/4)`` alone shredded batch 4 into four
+    singleton tiles whose per-tile einsum + combine overhead dominates the
+    tiny contraction it was meant to parallelise."""
+    if n < 2 * min_tile:
+        return 0
+    return max(min_tile, -(-n // target_tiles))
+
+
 # Explicit per-workload entries, topi-style: the workload classes the
 # benchmarks (and the serving model zoo at their native widths) hit, keyed
 # by (cin, cout, kernel, stride).  Dense (groups == 1) only — grouped convs
@@ -157,13 +182,19 @@ PULL_SCHEDULES: dict[tuple[int, int], int] = {
 
 
 def conv_schedule(
-    x_shape: tuple, w_shape: tuple, stride: int, groups: int
+    x_shape: tuple,
+    w_shape: tuple,
+    stride: int,
+    groups: int,
+    workload: "Workload | None" = None,
 ) -> TileSchedule:
     """Resolve the tile schedule of one conv2d workload.
 
-    Explicit table entries win; unknown dense workloads fall back to the
-    measured-default heuristic.  Grouped convolutions are never tiled —
-    their parallelism axis is the group loop.
+    Resolution order: a tuned record in the active plan database (when
+    ``workload`` is given and ``REPRO_PLAN_DB`` / ``set_plan_db`` installed
+    one) > explicit table entries > the measured-default heuristic.
+    Grouped convolutions are never tiled — their parallelism axis is the
+    group loop.
     """
     if groups != 1:
         return TileSchedule()
@@ -173,16 +204,31 @@ def conv_schedule(
     if entry is None:
         entry = TileSchedule(
             k_tile=_default_tile(cin),
-            gradw_tile=max(1, -(-n // 4)) if n >= 4 else 0,
+            gradw_tile=_default_gradw_tile(n),
+        )
+    tuned = tuned_plan(workload)
+    if tuned is not None:
+        entry = TileSchedule(
+            k_tile=int(tuned.get("k_tile", entry.k_tile)),
+            gradw_tile=int(tuned.get("gradw_tile", entry.gradw_tile)),
         )
     return entry
 
 
-def pull_tile_for(cin: int, cout: int) -> int:
-    """The pull-GEMM's contracted output-channel tile for one SCC config."""
+def pull_tile_for(
+    cin: int, cout: int, workload: "Workload | None" = None
+) -> int:
+    """The pull-GEMM's contracted output-channel tile for one SCC config.
+
+    Same resolution order as :func:`conv_schedule`: tuned database record
+    (per field) > explicit table entry > measured-default heuristic.
+    """
     tile = PULL_SCHEDULES.get((cin, cout))
     if tile is None:
         tile = _default_tile(cout)
+    tuned = tuned_plan(workload)
+    if tuned is not None:
+        tile = int(tuned.get("pull_tile", tile))
     return tile
 
 

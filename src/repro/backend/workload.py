@@ -12,6 +12,7 @@ tables: dispatch keys on *what* is being computed, plans capture *how*.
 from __future__ import annotations
 
 import itertools
+import json
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -104,6 +105,49 @@ class Workload:
                 return value
         return default
 
+    # -- stable serialization (the persistent plan database's key) -------------
+
+    def to_key(self) -> str:
+        """Stable JSON key of this workload, for on-disk plan databases.
+
+        The encoding is canonical — sorted keys, no whitespace — so equal
+        workloads always produce byte-identical keys, across processes and
+        Python versions.  Only JSON-representable param values are
+        supported (ints, floats, strings, bools, None, and nested
+        lists/tuples of those), which covers every workload the kernels
+        construct; anything else raises ``TypeError`` loudly rather than
+        producing an unstable key.
+        """
+        return json.dumps(
+            {
+                "op": self.op,
+                "in_shape": self.in_shape,
+                "weight_shape": self.weight_shape,
+                "dtype": self.dtype,
+                "params": [[k, v] for k, v in self.params],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_key(cls, key: str) -> "Workload":
+        """Rebuild the exact :class:`Workload` a :meth:`to_key` string names.
+
+        Round-trip invariant: ``Workload.from_key(wl.to_key()) == wl`` —
+        JSON's list/tuple erasure is undone by the same ``_canonical``
+        normalisation :meth:`make` applies, so the reconstructed workload
+        hashes and compares identically to the original.
+        """
+        data = json.loads(key)
+        return cls(
+            op=data["op"],
+            in_shape=_canonical(data["in_shape"]),
+            weight_shape=_canonical(data["weight_shape"]),
+            dtype=data["dtype"],
+            params=tuple((k, _canonical(v)) for k, v in data["params"]),
+        )
+
 
 class PlanCache:
     """LRU cache mapping :class:`Workload` -> execution plan.
@@ -191,6 +235,9 @@ class PlanCache:
             }
         return acc
 
+    #: Decayed owner weights below this, with no resident entries, are pruned.
+    TRAFFIC_EPSILON = 1e-3
+
     def _record_access(self, owner: str | None, kind: str) -> None:
         self._owner_acc(owner)[kind] += 1
         self._traffic[owner] = self._traffic.get(owner, 0.0) + 1.0
@@ -198,9 +245,19 @@ class PlanCache:
         if self._accesses_since_decay >= self.traffic_decay_every:
             # Halve every owner's weight so "hot" tracks *recent* traffic: a
             # model that stopped receiving requests stops shielding its plans.
+            # Owners whose weight has decayed to irrelevance and who hold no
+            # resident entry are dropped entirely — otherwise ephemeral
+            # owner names (per-request or per-test servers) grow this dict
+            # without bound over the cache's lifetime.
             self._accesses_since_decay = 0
-            for key in self._traffic:
+            for key in list(self._traffic):
                 self._traffic[key] *= 0.5
+                if (
+                    self._traffic[key] < self.TRAFFIC_EPSILON
+                    and self._owner_sizes.get(key, 0) <= 0
+                ):
+                    del self._traffic[key]
+                    self._owner_sizes.pop(key, None)
 
     def _retag_entry(self, workload: Workload, owner: str | None) -> None:
         previous = self._entry_owner.get(workload)

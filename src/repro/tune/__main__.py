@@ -1,0 +1,74 @@
+"""``python -m repro.tune`` — tune the gate workload set into a plan database.
+
+Typical invocations::
+
+    python -m repro.tune --db plans.jsonl            # the full gate set
+    python -m repro.tune --db plans.jsonl --quick    # one small workload (CI)
+
+Point later runs at the produced file with ``REPRO_PLAN_DB=plans.jsonl``.
+"""
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.backend.plan_db import PlanDatabase, env_stamp
+from repro.tune import gate_workloads, tune_workloads
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tune", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--db",
+        default=os.environ.get("REPRO_PLAN_DB") or None,
+        help="plan database file to append tuned records to "
+        "(default: $REPRO_PLAN_DB; omit both for a dry run)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="target worker count to tune for (default: the usable CPUs)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="traced measurement repeats per candidate (best-of, default 2)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tune one small workload only (CI smoke)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="tune the gate set at full benchmark sizes",
+    )
+    args = parser.parse_args(argv)
+
+    db = PlanDatabase(args.db) if args.db else None
+    if db is None:
+        print("# dry run (no --db / REPRO_PLAN_DB): results are not persisted")
+    print(f"# env: {env_stamp()}")
+
+    results = tune_workloads(
+        gate_workloads(full=args.full, quick=args.quick),
+        db=db,
+        workers=args.workers,
+        repeats=args.repeats,
+    )
+    for res in results:
+        marker = " (off-table)" if res.record and res.record.get("off_table") else ""
+        print(
+            f"{res.name}{marker}: best {res.best.describe()} "
+            f"{res.best.score_s * 1e3:.3f}ms | static {res.static.describe()} "
+            f"{res.static.score_s * 1e3:.3f}ms | "
+            f"speedup x{res.speedup_vs_static:.2f} "
+            f"[{len(res.candidates)} candidates]"
+        )
+    if db is not None and db.path is not None:
+        print(f"# recorded {len(results)} plans -> {db.path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

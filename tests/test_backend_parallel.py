@@ -167,6 +167,108 @@ def test_makespan_models_lpt_schedule():
 
 
 # ---------------------------------------------------------------------------
+# Submission shutdown discipline: terminal failures raise, resizes retry
+# ---------------------------------------------------------------------------
+
+class _DeadExecutor:
+    """Stands in for a pool whose ``submit`` can never succeed again."""
+
+    def __init__(self, message: str):
+        self.message = message
+        self.submits = 0
+
+    def submit(self, fn, /, *args):
+        self.submits += 1
+        raise RuntimeError(self.message)
+
+
+def test_submit_pooled_raises_at_interpreter_shutdown(monkeypatch):
+    # Regression: the resize-retry loop used to swallow *every* RuntimeError
+    # and spin forever; at interpreter shutdown no rebuild can ever succeed,
+    # so the error must propagate (and after exactly one attempt).
+    from repro.backend import parallel as par
+
+    dead = _DeadExecutor("cannot schedule new futures after interpreter shutdown")
+    monkeypatch.setattr(par, "_executor", lambda: dead)
+    with pytest.raises(RuntimeError, match="interpreter shutdown"):
+        par.submit_pooled(lambda: 1)
+    assert dead.submits == 1
+
+
+def test_parallel_map_raises_at_interpreter_shutdown(monkeypatch):
+    from repro.backend import parallel as par
+
+    dead = _DeadExecutor("cannot schedule new futures after interpreter shutdown")
+    monkeypatch.setattr(par, "_executor", lambda: dead)
+    with pytest.raises(RuntimeError, match="interpreter shutdown"):
+        par.parallel_map(lambda i: i, range(4), op="shutdown")
+    assert dead.submits == 1
+
+
+def test_dead_pool_nobody_rebuilt_is_terminal_not_a_spin(monkeypatch):
+    # A pool that is shut down *without* a concurrent resize re-resolves to
+    # the same object; retrying would re-raise identically forever.  The
+    # identity check must classify that as terminal.
+    from repro.backend import parallel as par
+
+    dead = _DeadExecutor("cannot schedule new futures after shutdown")
+    monkeypatch.setattr(par, "_executor", lambda: dead)
+    with pytest.raises(RuntimeError, match="after shutdown"):
+        par.submit_pooled(lambda: 1)
+    assert dead.submits == 1
+
+
+def test_resize_mid_submit_retries_on_the_fresh_pool(monkeypatch):
+    # The retryable half of the discipline: the stale pool raises, but the
+    # next _executor() resolves to a live pool — submission must resume
+    # there, not propagate.
+    from repro.backend import parallel as par
+
+    real = par._executor()
+    dead = _DeadExecutor("cannot schedule new futures after shutdown")
+    calls = iter([dead, real])
+    monkeypatch.setattr(par, "_executor", lambda: next(calls, real))
+    assert par.parallel_map(lambda i: i * 2, range(5), op="resize") == [
+        0, 2, 4, 6, 8
+    ]
+    assert dead.submits == 1
+
+
+# ---------------------------------------------------------------------------
+# Worker sizing honours the scheduler affinity mask (cgroup/taskset limits)
+# ---------------------------------------------------------------------------
+
+def test_default_num_workers_uses_affinity_mask(monkeypatch):
+    from repro.backend.parallel import default_num_workers
+
+    monkeypatch.delenv("REPRO_NUM_WORKERS", raising=False)
+    # A process pinned to 2 CPUs of a big host must get a 2-worker pool,
+    # not a host-sized one.
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1},
+                        raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 64)
+    assert default_num_workers() == 2
+
+
+def test_default_num_workers_falls_back_to_cpu_count(monkeypatch):
+    from repro.backend.parallel import default_num_workers
+
+    monkeypatch.delenv("REPRO_NUM_WORKERS", raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 5)
+    monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+    assert default_num_workers() == 5
+
+
+def test_repro_num_workers_env_still_wins_over_affinity(monkeypatch):
+    from repro.backend.parallel import default_num_workers
+
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1},
+                        raising=False)
+    monkeypatch.setenv("REPRO_NUM_WORKERS", "7")
+    assert default_num_workers() == 7
+
+
+# ---------------------------------------------------------------------------
 # KernelStats: exact totals under concurrent mutation
 # ---------------------------------------------------------------------------
 

@@ -344,3 +344,45 @@ def test_clear_during_inflight_build_keeps_owner_table_consistent():
     # The post-clear cache still works and re-attributes fresh traffic.
     fill(cache, [0], owner="racer")
     assert cache.owner_stats()["racer"]["size"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Traffic-map pruning: ephemeral owners must not accumulate forever
+# ---------------------------------------------------------------------------
+
+def test_traffic_map_prunes_ephemeral_owners():
+    # Regression: decay halved weights but never removed owners, so a
+    # long-lived cache visited by per-request/per-test owner names grew its
+    # traffic dict without bound.  Owners whose weight decays below the
+    # epsilon *and* who hold no resident entry must be dropped.
+    cache = PlanCache(maxsize=4, traffic_decay_every=8)
+    fill(cache, [1, 2], owner="resident")
+    for i in range(200):
+        with plan_owner(f"ephemeral-{i}"):
+            cache.get_or_build(wl(0), lambda: "shared")
+    # Steady resident traffic drives enough decay rounds that every
+    # ephemeral weight (~1 access each) sinks below the epsilon.
+    with plan_owner("resident"):
+        for _ in range(200):
+            cache.get_or_build(wl(1), lambda: "x")
+    survivors = set(cache._traffic)
+    # Only live traffic and owners still holding a resident entry remain:
+    # wl(0) was re-tagged to its last accessor, which keeps that one owner
+    # (the resident-entry guard), while the other 199 are pruned.
+    assert survivors == {"resident", "ephemeral-199"}
+    # The size table is pruned in step: no zero-entry owners linger.
+    assert set(cache._owner_sizes) <= survivors | {None}
+
+
+def test_traffic_prune_never_drops_owner_with_resident_entries():
+    cache = PlanCache(maxsize=4, traffic_decay_every=4)
+    fill(cache, [0], owner="idle-holder")
+    # idle-holder never submits again; a hot owner drives many decays.
+    fill(cache, [1], owner="hot")
+    with plan_owner("hot"):
+        for _ in range(100):
+            cache.get_or_build(wl(1), lambda: "x")
+    assert cache._traffic.get("idle-holder", 0.0) < PlanCache.TRAFFIC_EPSILON
+    assert "idle-holder" in cache._traffic          # entry keeps it alive
+    assert cache._owner_sizes["idle-holder"] == 1
+    assert wl(0) in cache

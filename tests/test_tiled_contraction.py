@@ -123,6 +123,42 @@ def test_conv_schedule_fallback_targets_four_tiles():
     assert tiny.k_tile == 0 and tiny.gradw_tile == 0
 
 
+def test_conv_schedule_fallback_small_batch_never_singleton_tiles():
+    # Regression: the fallback used to shred n in 4..7 into ceil(n/4) = 1
+    # batch tiles — n singleton einsums plus a combine tree, pure overhead.
+    # The guard mirrors _default_tile: tiles never drop below the minimum
+    # extent (2), and batches too small for two such tiles stay untiled.
+    for n in (4, 5, 6, 7):
+        sched = conv_schedule((n, 100, 16, 16), (24, 100, 5, 5),
+                              stride=1, groups=1)
+        assert sched.gradw_tile >= 2, n
+    for n in (1, 2, 3):
+        sched = conv_schedule((n, 100, 16, 16), (24, 100, 5, 5),
+                              stride=1, groups=1)
+        assert sched.gradw_tile == 0, n
+    # Larger batches: ~4 tiles, as before.
+    assert conv_schedule((16, 100, 16, 16), (24, 100, 5, 5),
+                         stride=1, groups=1).gradw_tile == 4
+
+
+@pytest.mark.parametrize("n", [4, 5, 7])
+def test_dense_gradw_small_batch_schedule_bitwise(n):
+    # The guarded small-batch schedules stay on the bitwise contract: the
+    # plan-resolved gradw tile gives identical numpy/threaded grads.
+    rng = np.random.default_rng(12)
+    x = rng.standard_normal((n, 100, 8, 8)).astype(np.float32)
+    w = rng.standard_normal((24, 100, 5, 5)).astype(np.float32)
+    plan = conv2d_plan(x.shape, w.shape, 1, 1, 1, x.dtype)
+    assert plan.gradw_tile == 2
+    grad = rng.standard_normal(plan.out_shape).astype(np.float32)
+    _, ctx_np = get_kernel("conv2d", "numpy")(plan, x, w)
+    _, gw_np = get_kernel("conv2d_backward", "numpy")(plan, ctx_np, grad)
+    with num_workers(3):
+        _, ctx_th = get_kernel("conv2d", "threaded")(plan, x, w)
+        _, gw_th = get_kernel("conv2d_backward", "threaded")(plan, ctx_th, grad)
+    assert np.array_equal(gw_np, gw_th)
+
+
 def test_pull_tile_table_and_fallback():
     assert pull_tile_for(64, 128) == 32          # explicit table entry
     assert schedule_table()["pull_gemm"][(64, 128)] == 32

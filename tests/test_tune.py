@@ -1,0 +1,182 @@
+"""The plan auto-tuner: sweep soundness and the cross-process contract.
+
+The headline invariant — the static-table schedule is always in the
+candidate set, so the tuned winner can never model worse than static — and
+the persistence loop: tune, write the database, and have a *fresh
+interpreter* (``REPRO_PLAN_DB``) build plans on the tuned tiles with
+results bitwise-identical to the untuned run.
+
+On bitwise-identity across *different* tile sizes: tile size changes the
+canonical combine order, so equality for arbitrary float data only holds
+per tile size.  The round-trip test therefore feeds integer-valued float32
+inputs — every partial sum is exact, making any schedule of the same
+contraction bit-identical — so it can assert the tuned schedule changes
+*nothing* about results while changing the execution plan.
+"""
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    Workload,
+    clear_plan_cache,
+    conv2d_plan,
+    get_kernel,
+)
+from repro.backend.plan_db import PlanDatabase, use_plan_db
+from repro.tune import (
+    Candidate,
+    gate_workloads,
+    tune_conv2d,
+    tune_pull_gemm,
+    tune_workloads,
+)
+from repro.tune import _tile_candidates, _worker_candidates
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+X_SHAPE = (4, 16, 8, 8)       # small: tuning sweeps dozens of measured runs
+W_SHAPE = (8, 16, 3, 3)
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    with use_plan_db(None):
+        clear_plan_cache()
+        yield
+    clear_plan_cache()
+
+
+# ---------------------------------------------------------------------------
+# Candidate generation
+# ---------------------------------------------------------------------------
+
+def test_tile_candidates_include_untiled_and_static():
+    cands = _tile_candidates(64, static=16)
+    assert 0 in cands and 16 in cands
+    assert 32 in cands and 8 in cands          # 2-way and 8-way partitions
+    assert cands == sorted(set(cands))
+
+
+def test_worker_candidates_cover_powers_up_to_target():
+    assert _worker_candidates(4) == [2, 4]
+    assert _worker_candidates(6) == [2, 4, 6]
+    assert _worker_candidates(1) == []          # serial host: numpy only
+
+
+# ---------------------------------------------------------------------------
+# Sweep soundness
+# ---------------------------------------------------------------------------
+
+def test_tune_conv2d_never_worse_than_static_and_records():
+    db = PlanDatabase()
+    res = tune_conv2d(X_SHAPE, W_SHAPE, workers=4, repeats=1, db=db)
+    assert res.best.score_s <= res.static.score_s
+    assert any(c.tiles == res.static_tiles for c in res.candidates)
+    assert all(isinstance(c, Candidate) and c.score_s >= 0.0
+               for c in res.candidates)
+    # The record landed under the exact workload key conv2d_plan builds.
+    wl = Workload.make("conv2d", X_SHAPE, W_SHAPE, "float32",
+                       stride=1, padding=1, groups=1)
+    plan = db.lookup(wl)
+    assert plan is not None
+    assert {"backend", "workers", "k_tile", "gradw_tile"} <= set(plan)
+
+
+def test_tune_pull_gemm_never_worse_than_static_and_records():
+    db = PlanDatabase()
+    res = tune_pull_gemm((16, 32, 4, 0.25), n=2, hw=6, workers=4,
+                         repeats=1, db=db)
+    assert res.best.score_s <= res.static.score_s
+    wl = Workload.make("scc_plan", cin=16, cout=32, cg=4, co=0.25)
+    plan = db.lookup(wl)
+    assert plan is not None and "pull_tile" in plan
+
+
+def test_tune_conv2d_rejects_grouped_workloads():
+    with pytest.raises(ValueError, match="dense"):
+        tune_conv2d((4, 16, 8, 8), (16, 8, 3, 3), groups=2)
+
+
+def test_gate_workloads_contain_an_off_table_conv():
+    specs = gate_workloads()
+    assert any("offtable" in s["name"] for s in specs)
+    quick = gate_workloads(quick=True)
+    assert len(quick) == 1                      # the CI smoke budget
+
+
+def test_tune_workloads_dry_run_records_nothing():
+    res = tune_workloads(
+        [{"kind": "conv2d", "name": "t", "x_shape": X_SHAPE,
+          "w_shape": W_SHAPE, "stride": 1, "padding": 1}],
+        db=None, workers=2, repeats=1,
+    )
+    assert len(res) == 1 and res[0].record is None
+
+
+# ---------------------------------------------------------------------------
+# The round trip: tune -> persist -> fresh process applies tuned tiles
+# ---------------------------------------------------------------------------
+
+_CHILD = textwrap.dedent(
+    """
+    import hashlib, json, sys
+    import numpy as np
+    from repro.backend import conv2d_plan, get_kernel
+
+    spec = json.loads(sys.argv[1])
+    x = np.asarray(spec["x"], dtype=np.float32)
+    w = np.asarray(spec["w"], dtype=np.float32)
+    plan = conv2d_plan(x.shape, w.shape, 1, 1, 1, "float32")
+    out, ctx = get_kernel("conv2d", "numpy")(plan, x, w)
+    grad = np.ones(plan.out_shape, dtype=np.float32)
+    gx, gw = get_kernel("conv2d_backward", "numpy")(plan, ctx, grad)
+    print(json.dumps({
+        "k_tile": plan.k_tile, "gradw_tile": plan.gradw_tile,
+        "digest": hashlib.sha256(
+            out.tobytes() + gx.tobytes() + gw.tobytes()).hexdigest(),
+    }))
+    """
+)
+
+
+def test_tuned_db_round_trips_into_fresh_process_bitwise(tmp_path):
+    db_path = tmp_path / "plans.jsonl"
+    res = tune_conv2d(X_SHAPE, W_SHAPE, workers=4, repeats=1,
+                      db=PlanDatabase(db_path))
+    recorded = {k: res.best.tiles[k] for k in ("k_tile", "gradw_tile")}
+
+    # Integer-valued inputs: exact partial sums, so results are bitwise
+    # invariant to the schedule (see module docstring).
+    rng = np.random.default_rng(3)
+    x = rng.integers(-3, 4, X_SHAPE).astype(np.float32)
+    w = rng.integers(-3, 4, W_SHAPE).astype(np.float32)
+    spec = json.dumps({"x": x.tolist(), "w": w.tolist()})
+
+    def run_child(extra_env):
+        env = dict(os.environ)
+        env.pop("REPRO_PLAN_DB", None)
+        env.update(extra_env)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run([sys.executable, "-c", _CHILD, spec], env=env,
+                              capture_output=True, text=True, cwd=REPO_ROOT)
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout)
+
+    tuned = run_child({"REPRO_PLAN_DB": str(db_path)})
+    static = run_child({})
+
+    # The fresh process resolved exactly the tuned tiles from disk...
+    assert {k: tuned[k] for k in recorded} == recorded
+    # ...the untuned process stayed on the static schedule...
+    assert (static["k_tile"], static["gradw_tile"]) \
+        == (res.static_tiles["k_tile"], res.static_tiles["gradw_tile"])
+    # ...and both computed bitwise-identical results.
+    assert tuned["digest"] == static["digest"]
