@@ -38,6 +38,7 @@ from bench_backend_scaling import report_backend_scaling
 from bench_tiled_gemm import report_tiled_gemm
 from bench_async_gateway import report_async_gateway
 from bench_plan_tuner import report_plan_tuner
+from bench_fault_tolerance import report_fault_tolerance
 
 REPORTS = [
     ("Table I", report_table1),
@@ -63,6 +64,7 @@ REPORTS = [
     ("Backend: tiled contractions", report_tiled_gemm),
     ("Serving: async gateway", report_async_gateway),
     ("Backend: plan auto-tuner", report_plan_tuner),
+    ("Serving: fault tolerance", report_fault_tolerance),
 ]
 
 

@@ -75,6 +75,8 @@ from repro.backend.registry import (
     REGISTRY,
     KernelRegistry,
     available_backends,
+    backend_override,
+    current_backend_override,
     get_kernel,
     register_kernel,
 )
@@ -125,6 +127,7 @@ from repro.backend.schedule import (
 )
 
 from repro.backend.parallel import (
+    ShardError,
     default_num_workers,
     get_num_workers,
     num_workers,
@@ -151,9 +154,12 @@ __all__ = [
     "REGISTRY",
     "KernelRegistry",
     "available_backends",
+    "backend_override",
+    "current_backend_override",
     "env_backend_order",
     "get_kernel",
     "register_kernel",
+    "ShardError",
     "NUMBA_AVAILABLE",
     "default_num_workers",
     "get_num_workers",

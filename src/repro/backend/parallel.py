@@ -30,6 +30,7 @@ Three properties the kernel backend depends on:
 from __future__ import annotations
 
 import concurrent.futures
+import itertools
 import os
 import threading
 import time
@@ -39,8 +40,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.backend.workload import current_plan_owner, plan_owner
+from repro.faults import active_faults
 
 __all__ = [
+    "ShardError",
     "default_num_workers",
     "get_num_workers",
     "set_num_workers",
@@ -52,6 +55,46 @@ __all__ = [
     "RegionTrace",
     "makespan",
 ]
+
+
+def _describe_item(item: Any) -> str:
+    """A compact, attribution-friendly description of one region item."""
+    shape = getattr(item, "shape", None)
+    if shape is not None:
+        return f"{type(item).__name__}(shape={tuple(shape)})"
+    if isinstance(item, slice):
+        return f"slice({item.start}, {item.stop})"
+    text = repr(item)
+    return text if len(text) <= 80 else text[:77] + "..."
+
+
+class ShardError(RuntimeError):
+    """One :func:`parallel_map` task failed, wrapped with workload context.
+
+    A fault deep inside a threaded kernel shard otherwise surfaces as a
+    bare exception with no hint of *which* region, shard, or operand
+    triggered it.  The wrapper names the region ``op``, the shard index,
+    and a shape-aware summary of the item; the original exception rides
+    along as ``cause`` (and ``__cause__``), and its ``repr`` is embedded in
+    the message so existing ``pytest.raises(..., match=...)`` patterns on
+    the underlying error keep matching.
+    """
+
+    def __init__(self, op: str, shard: int, total: int, item: Any,
+                 cause: BaseException) -> None:
+        super().__init__(
+            f"parallel region {op!r} shard {shard}/{total} failed on "
+            f"{_describe_item(item)}: {cause!r}"
+        )
+        self.op = op
+        self.shard = shard
+        self.cause = cause
+        self.__cause__ = cause
+
+
+# Sequence number feeding the fault plane's pool_submit draws: each
+# submission is a distinct opportunity even at an identical call site.
+_SUBMIT_SEQ = itertools.count()
 
 _LOCK = threading.Lock()
 _EXECUTOR: ThreadPoolExecutor | None = None
@@ -259,6 +302,13 @@ def submit_pooled(fn: Callable[..., Any], /, *args: Any) -> concurrent.futures.F
     pool-starvation deadlock), and submission retries transparently across
     a concurrent :func:`set_num_workers` rebuild.
     """
+    inj = active_faults()
+    if inj is not None:
+        inj.check(
+            "pool_submit",
+            key=(getattr(fn, "__qualname__", str(fn)),),
+            attempt=next(_SUBMIT_SEQ),
+        )
     owner = current_plan_owner()
 
     def run() -> Any:
@@ -291,19 +341,30 @@ def parallel_map(
     (``<= 1`` task), the pool is sized to one worker, the caller is itself
     a pooled task (nested regions run on their own worker — see module
     docstring), or a :func:`trace_parallel` block is active.  The first
-    task exception propagates to the caller either way; in the pooled case
-    remaining tasks still run to completion first (futures are not
-    cancelled), so shared output buffers are never abandoned half-written
-    to a racing shard.
+    task exception propagates to the caller either way — wrapped in
+    :class:`ShardError` naming the region, shard index and item, so a
+    fault deep in a threaded shard is attributable without a debugger; in
+    the pooled case remaining tasks still run to completion first (futures
+    are not cancelled), so shared output buffers are never abandoned
+    half-written to a racing shard.
     """
     tasks = list(items)
+
+    def call(index: int, item: Any) -> Any:
+        try:
+            return fn(item)
+        except ShardError:
+            raise  # a nested region already attributed it
+        except Exception as exc:
+            raise ShardError(op, index, len(tasks), item, exc) from exc
+
     if _TRACE_SINK is not None:
         trace = RegionTrace(op=op, tasks=len(tasks))
         _TRACE_SINK.append(trace)
         results = []
-        for item in tasks:
+        for index, item in enumerate(tasks):
             start = time.perf_counter()
-            results.append(fn(item))
+            results.append(call(index, item))
             trace.task_seconds.append(time.perf_counter() - start)
         return results
     if (
@@ -311,15 +372,15 @@ def parallel_map(
         or getattr(_IN_WORKER, "active", False)
         or get_num_workers() == 1
     ):
-        return [fn(item) for item in tasks]
+        return [call(index, item) for index, item in enumerate(tasks)]
 
     owner = current_plan_owner()
 
-    def run(item: Any) -> Any:
+    def run(index: int, item: Any) -> Any:
         _IN_WORKER.active = True
         try:
             with plan_owner(owner):
-                return fn(item)
+                return call(index, item)
         finally:
             _IN_WORKER.active = False
 
@@ -331,12 +392,12 @@ def parallel_map(
     # _is_terminal_submit_error — after waiting out whatever was already
     # queued, so no in-flight shard outlives the caller.
     futures = []
-    remaining = list(tasks)
+    remaining = list(enumerate(tasks))
     while remaining:
         executor = _executor()
         try:
             while remaining:
-                futures.append(executor.submit(run, remaining[0]))
+                futures.append(executor.submit(run, *remaining[0]))
                 remaining.pop(0)
         except RuntimeError as exc:  # pool resized mid-loop?
             if _is_terminal_submit_error(exc, executor):

@@ -41,6 +41,7 @@ first use, as ``REPRO_PLAN_DB`` does) to pick tuned schedules up.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 from contextlib import contextmanager
@@ -48,6 +49,9 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.backend.workload import Workload
+from repro.faults import active_faults
+
+_LOG = logging.getLogger(__name__)
 
 __all__ = [
     "PlanDatabase",
@@ -87,6 +91,14 @@ def _env_key(env: dict) -> str:
     return json.dumps(env, sort_keys=True, separators=(",", ":"))
 
 
+def _safe_env_stamp() -> dict | str:
+    """:func:`env_stamp` guarded for log paths (it needs full registration)."""
+    try:
+        return env_stamp()
+    except Exception:  # pragma: no cover - mid-import quarantine logging
+        return "<unavailable>"
+
+
 class PlanDatabase:
     """Disk-backed (JSON-lines) table of tuned per-workload schedules.
 
@@ -101,20 +113,65 @@ class PlanDatabase:
         self.path = Path(path) if path is not None else None
         self._lock = threading.Lock()
         self._entries: dict[tuple[str, str], dict] = {}
+        self._loaded = 0    # valid records folded in across all loads
+        self._skipped = 0   # corrupt/malformed rows quarantined across all loads
         if self.path is not None and self.path.exists():
             self._load_lines(self.path.read_text())
 
     # -- IO --------------------------------------------------------------------
 
     def _load_lines(self, text: str) -> None:
-        for line in text.splitlines():
+        """Fold JSONL rows in, quarantining corrupt/malformed ones.
+
+        A torn write (process killed mid-append, full disk) must not take
+        down every future process pointed at the shared file: bad rows are
+        skipped and counted (:meth:`load_report`), with one env-stamped
+        quarantine log line naming the file and line numbers, and loading
+        continues — last *valid* record still wins per (workload, env).
+        """
+        bad_lines: list[int] = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
             line = line.strip()
             if not line:
                 continue
-            self._insert(json.loads(line))
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise TypeError(f"record is {type(record).__name__}, not dict")
+                if not isinstance(record["workload"], str):
+                    raise TypeError("workload key is not a string")
+                if not isinstance(record["env"], dict):
+                    raise TypeError("env block is not a dict")
+                if not isinstance(record["plan"], dict):
+                    raise TypeError("plan block is not a dict")
+            except (json.JSONDecodeError, KeyError, TypeError):
+                bad_lines.append(lineno)
+                continue
+            self._insert(record)
+            self._loaded += 1
+        if bad_lines:
+            self._skipped += len(bad_lines)
+            _LOG.warning(
+                "plan db %s: quarantined %d corrupt row(s) at line(s) %s "
+                "(env %s); loading continued with the remaining records",
+                self.path if self.path is not None else "<in-memory>",
+                len(bad_lines),
+                ",".join(map(str, bad_lines[:10]))
+                + ("..." if len(bad_lines) > 10 else ""),
+                _safe_env_stamp(),
+            )
 
     def _insert(self, record: dict) -> None:
         self._entries[(record["workload"], _env_key(record["env"]))] = record
+
+    def load_report(self) -> dict:
+        """Accounting of every load so far: path, valid rows, quarantined rows."""
+        with self._lock:
+            return {
+                "path": str(self.path) if self.path is not None else None,
+                "loaded": self._loaded,
+                "skipped": self._skipped,
+            }
 
     def reload(self) -> "PlanDatabase":
         """Re-read the backing file (picking up other processes' appends)."""
@@ -159,8 +216,16 @@ class PlanDatabase:
             self._insert(record)
             if self.path is not None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
+                line = json.dumps(record, sort_keys=True)
+                inj = active_faults()
+                if inj is not None:
+                    # Simulated torn write: the on-disk row may be truncated
+                    # (what a killed process leaves behind) while the
+                    # in-memory entry stays correct — exactly the corruption
+                    # the tolerant loader is tested against.
+                    line = inj.corrupt_row(line, key=(record["workload"],))
                 with self.path.open("a", encoding="utf-8") as fh:
-                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+                    fh.write(line + "\n")
         return record
 
     # -- introspection ---------------------------------------------------------

@@ -19,10 +19,46 @@ order.  Backends self-register at import time via the
 from __future__ import annotations
 
 import os
-from typing import Callable
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator
 
 #: Auto-selection order for ``backend="default"``.
 DEFAULT_BACKEND_ORDER = ("numpy", "reference")
+
+# Thread-local "default" redirection: while set, default-dispatched ops
+# prefer the named backend (falling through to the normal order per op).
+# This is the mechanism behind per-workload graceful degradation — the
+# serving engine demotes a fault-prone workload down the backend chain by
+# wrapping just that workload's batch forward in backend_override().
+_OVERRIDE = threading.local()
+
+
+@contextmanager
+def backend_override(backend: str | None) -> Iterator[None]:
+    """Prefer ``backend`` for default-dispatched ops on this thread.
+
+    Explicit ``backend=`` arguments at call sites still win — the override
+    only redirects ``"default"`` resolution, and only for ops where the
+    named backend is registered (others fall through to the normal order,
+    so overriding to an absent accelerator can never break dispatch).
+    ``None`` is a no-op, letting callers write one ``with`` regardless of
+    whether a demotion is active.
+    """
+    if backend is None:
+        yield
+        return
+    previous = getattr(_OVERRIDE, "name", None)
+    _OVERRIDE.name = backend
+    try:
+        yield
+    finally:
+        _OVERRIDE.name = previous
+
+
+def current_backend_override() -> str | None:
+    """The thread's active default-dispatch override, if any."""
+    return getattr(_OVERRIDE, "name", None)
 
 
 def env_backend_order(
@@ -69,6 +105,9 @@ class KernelRegistry:
                 f"unknown kernel op {op!r}; registered ops: {self.ops()}"
             ) from None
         if backend in (None, "default"):
+            override = current_backend_override()
+            if override is not None and override in impls:
+                return impls[override]
             for name in self.default_order:
                 if name in impls:
                     return impls[name]

@@ -27,29 +27,37 @@ latency and throughput.  The tier is three layers:
   :meth:`Server.status` / :meth:`Router.status` answer a request's
   lifecycle (``PENDING | DONE | SHED | EVICTED``).
 
-Shed paths are never silent: :class:`QueueFull` (admission),
-:class:`RequestShed` (shutdown without drain), :class:`DeadlineExceeded`
-(latency budget blown while queued).
+Failure paths are never silent (see the README's "Failure semantics"):
+:class:`QueueFull` (admission), :class:`RequestShed` (shutdown without
+drain), :class:`DeadlineExceeded` (latency budget blown while queued),
+:class:`RequestFailed` (execution failed after bisect isolation and the
+:class:`RetryPolicy` backoff budget), :class:`ModelUnavailable` (the
+per-model :class:`CircuitBreaker` is open), :class:`ResultTimeout` (a
+``wait_result`` that gave up, carrying the request's status).
 """
-from repro.serve.engine import BatchTiming, ModelExecutor
+from repro.serve.engine import BatchTiming, ExecStats, ModelExecutor, RequestFailed
 from repro.serve.gateway import AsyncGateway, GatewayConfig
 from repro.serve.router import Router, RouterHandle, RouterMetrics
 from repro.serve.sched import (
     AdmissionPolicy,
     Batch,
     BucketPolicy,
+    CircuitBreaker,
     FairnessPolicy,
+    RetryPolicy,
     SchedCore,
     SchedRequest,
     ShedPolicy,
 )
 from repro.serve.server import (
     DeadlineExceeded,
+    ModelUnavailable,
     QueueFull,
     Request,
     RequestResult,
     RequestShed,
     RequestStatus,
+    ResultTimeout,
     Server,
     ServerConfig,
     ServingMetrics,
@@ -61,15 +69,21 @@ __all__ = [
     "Batch",
     "BatchTiming",
     "BucketPolicy",
+    "CircuitBreaker",
     "DeadlineExceeded",
+    "ExecStats",
     "FairnessPolicy",
     "GatewayConfig",
     "ModelExecutor",
+    "ModelUnavailable",
     "QueueFull",
     "Request",
+    "RequestFailed",
     "RequestResult",
     "RequestShed",
     "RequestStatus",
+    "ResultTimeout",
+    "RetryPolicy",
     "Router",
     "RouterHandle",
     "RouterMetrics",

@@ -35,10 +35,11 @@ from typing import Callable
 import numpy as np
 
 from repro.backend import plan_owner, submit_pooled
-from repro.serve.engine import ModelExecutor
-from repro.serve.sched import Batch, SchedCore, SchedRequest
+from repro.serve.engine import ModelExecutor, RequestFailed
+from repro.serve.sched import Batch, CircuitBreaker, RetryPolicy, SchedCore, SchedRequest
 from repro.serve.server import (
     DeadlineExceeded,
+    ModelUnavailable,
     QueueFull,
     RequestResult,
     ServingMetrics,
@@ -62,6 +63,28 @@ class GatewayConfig:
     # Batches in flight on the worker pool at once, across models.  None
     # sizes it to the pool: more would only queue inside the executor.
     max_concurrent_batches: int | None = None
+    # Fault tolerance (same contract as the sync ServerConfig knobs):
+    # backoff retries for transient batch/pool faults, bisect isolation of
+    # poisoned requests, a per-model circuit breaker over recent request
+    # outcomes, and backend-chain degradation per workload.
+    retry: RetryPolicy | None = None
+    isolate_failures: bool = True
+    breaker_window: int | None = None
+    breaker_threshold: float = 0.5
+    breaker_min_samples: int = 8
+    breaker_cooldown: float = 1.0
+    degrade_after: int | None = None
+
+    def make_breaker(self) -> CircuitBreaker | None:
+        """A fresh per-model :class:`CircuitBreaker` (None = disabled)."""
+        if self.breaker_window is None:
+            return None
+        return CircuitBreaker(
+            window=self.breaker_window,
+            threshold=self.breaker_threshold,
+            min_samples=self.breaker_min_samples,
+            cooldown=self.breaker_cooldown,
+        )
 
 
 @dataclass
@@ -77,6 +100,11 @@ class _ModelRuntime:
     queue_waits: list[float] = field(default_factory=list)
     batch_records: list[tuple[int, int]] = field(default_factory=list)
     exec_seconds: list[float] = field(default_factory=list)
+    breaker: CircuitBreaker | None = None
+    failed: int = 0        # RequestFailed terminal failures
+    retries: int = 0       # transient-fault batch retries (engine + pool)
+    isolations: int = 0    # batches bisected to isolate a failure
+    unavailable: int = 0   # submits shed while the breaker was open
 
 
 class AsyncGateway:
@@ -102,9 +130,11 @@ class AsyncGateway:
         self,
         config: GatewayConfig | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.config = config or GatewayConfig()
         self.clock = clock
+        self.sleep = sleep  # backoff sleeps inside pooled batch execution
         self.core = SchedCore(
             bucket_sizes=self.config.bucket_sizes,
             max_latency=self.config.max_latency,
@@ -161,8 +191,11 @@ class AsyncGateway:
         executor = ModelExecutor(
             model, input_shapes=input_shapes,
             bucket_sizes=self.config.bucket_sizes, name=name,
+            degrade_after=self.config.degrade_after,
         )
-        self._models[name] = _ModelRuntime(executor=executor)
+        self._models[name] = _ModelRuntime(
+            executor=executor, breaker=self.config.make_breaker()
+        )
         self.core.add_model(
             name, request_cost=request_cost, exec_estimate=exec_estimate
         )
@@ -191,6 +224,14 @@ class AsyncGateway:
             raise ValueError(f"expected one (C, H, W) image, got shape {image.shape}")
         self._ensure_loop()
         now = self.clock()
+        runtime = self._models[model]
+        if runtime.breaker is not None and not runtime.breaker.allow(now):
+            runtime.unavailable += 1
+            raise ModelUnavailable(
+                f"model {model!r} is unavailable: circuit breaker open "
+                f"(error rate {runtime.breaker.error_rate():.0%} over "
+                f"recent requests)"
+            )
         deadline = None if budget is None else now + budget
         outcome = self.core.submit(
             model, image.shape, now, deadline=deadline, payload=image
@@ -265,27 +306,66 @@ class AsyncGateway:
     async def _execute(self, batch: Batch) -> None:
         runtime = self._models[batch.model]
         images = [r.payload for r in batch.requests]
+        ids = [r.id for r in batch.requests]
+        retry = self.config.retry
         async with self._batch_slots, runtime.exec_lock:
-            pooled = submit_pooled(
-                runtime.executor.run, images, batch.bucket, self.clock
-            )
-            try:
-                out, timing = await asyncio.wrap_future(pooled)
-            except BaseException as exc:
-                for request in batch.requests:
-                    future = self._futures.pop(request.id, None)
-                    if future is not None and not future.done():
-                        future.set_exception(exc)
-                return
+            # The engine's run_resilient handles kernel-level retries and
+            # bisect isolation inside the pool; this loop only covers
+            # failures *reaching* the pool (submit errors and the like),
+            # backing off on the event loop, never blocking it.
+            attempt = 0
+            while True:
+                try:
+                    pooled = submit_pooled(
+                        runtime.executor.run_resilient, images, batch.bucket,
+                        self.clock, ids, retry, self.sleep,
+                        self.config.isolate_failures,
+                    )
+                    rows, errors, stats, timing = await asyncio.wrap_future(pooled)
+                    break
+                except asyncio.CancelledError:
+                    raise
+                except BaseException as exc:
+                    if retry is not None and retry.should_retry(attempt):
+                        runtime.retries += 1
+                        await asyncio.sleep(retry.delay(attempt, token=ids[0]))
+                        attempt += 1
+                        continue
+                    done = self.clock()
+                    for request in batch.requests:
+                        future = self._futures.pop(request.id, None)
+                        if future is not None and not future.done():
+                            future.set_exception(RequestFailed(
+                                request.id,
+                                f"request {request.id} failed: batch could "
+                                f"not be executed ({exc})",
+                                cause=exc,
+                            ))
+                        runtime.failed += 1
+                        if runtime.breaker is not None:
+                            runtime.breaker.record(False, done)
+                    return
         done = timing.finished
         n = len(batch.requests)
-        runtime.completed += n
         runtime.batch_records.append((n, batch.bucket))
         runtime.exec_seconds.append(timing.exec_seconds)
+        runtime.retries += stats.retries
+        if stats.splits:
+            runtime.isolations += 1
+        completed = 0
         for i, request in enumerate(batch.requests):
+            future = self._futures.pop(request.id, None)
+            if i in errors:
+                runtime.failed += 1
+                if runtime.breaker is not None:
+                    runtime.breaker.record(False, done)
+                if future is not None and not future.done():
+                    future.set_exception(errors[i])
+                continue
+            completed += 1
             result = RequestResult(
                 id=request.id,
-                output=out[i].copy(),
+                output=rows[i].copy(),
                 latency=done - request.arrived_at,
                 batch_requests=n,
                 bucket_size=batch.bucket,
@@ -293,13 +373,15 @@ class AsyncGateway:
             )
             runtime.latencies.append(result.latency)
             runtime.queue_waits.append(result.queue_wait)
+            if runtime.breaker is not None:
+                runtime.breaker.record(True, done)
             if request.deadline is not None:
                 runtime.deadline_total += 1
                 if done > request.deadline:
                     runtime.deadline_misses += 1
-            future = self._futures.pop(request.id, None)
             if future is not None and not future.done():
                 future.set_result(result)
+        runtime.completed += completed
 
     # -- shutdown -------------------------------------------------------------
 
@@ -392,5 +474,21 @@ class AsyncGateway:
                 exec_mean=sum(runtime.exec_seconds) / len(runtime.exec_seconds)
                 if runtime.exec_seconds else 0.0,
                 bucket_target=stats["bucket_target"],
+                failed=runtime.failed,
+                retries=runtime.retries,
+                isolated_batches=runtime.isolations,
+                unavailable=runtime.unavailable,
+                degraded_plans=len(runtime.executor.degraded()),
+                breaker_state=runtime.breaker.state
+                if runtime.breaker else "disabled",
+                breaker_opens=runtime.breaker.opens if runtime.breaker else 0,
             )
         return out
+
+    def breaker_snapshots(self) -> dict[str, dict]:
+        """Per-model circuit-breaker snapshots (only breaker-enabled models)."""
+        return {
+            name: runtime.breaker.snapshot()
+            for name, runtime in self._models.items()
+            if runtime.breaker is not None
+        }

@@ -93,6 +93,14 @@ class RouterMetrics:
     fused_layers: int = 0         # summed fused-epilogue layers across models
     shed_deadline: int = 0        # deadline-policy sheds across all models
     deadline_misses: int = 0      # completions past their deadline, all models
+    failed: int = 0               # RequestFailed terminal failures, all models
+    retries: int = 0              # transient-fault batch retries, all models
+    unavailable: int = 0          # breaker-open sheds (ModelUnavailable)
+    breaker_opens: int = 0        # breaker trips across all models
+    # Per-model circuit-breaker snapshots (state, opens/closes, rejected,
+    # error_rate, and the full timestamped transition list) for every model
+    # whose breaker is enabled — the chaos soak's visibility surface.
+    breakers: dict | None = None
 
     def as_dict(self) -> dict:
         out = dict(self.__dict__)
@@ -128,6 +136,7 @@ class Router:
         clock: Callable[[], float] = time.perf_counter,
         overlap: bool = True,
         cache_owner_floor: int | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if cache_owner_floor is not None:
             if cache_owner_floor < 0:
@@ -137,6 +146,7 @@ class Router:
             PLAN_CACHE.owner_floor = cache_owner_floor
         self._default_config = server_config
         self._clock = clock
+        self._sleep = sleep
         self.overlap = overlap
         self._servers: dict[str, Server] = {}
         self._started = False
@@ -179,6 +189,7 @@ class Router:
             config=config or self._default_config,
             clock=self._clock,
             name=name,
+            sleep=self._sleep,
         )
         self._servers[name] = server
         # Open the new model's metrics window *after* its registration
@@ -335,4 +346,13 @@ class Router:
             fused_layers=sum(m.fused_layers for m in per_model.values()),
             shed_deadline=sum(m.shed_deadline for m in per_model.values()),
             deadline_misses=sum(m.deadline_misses for m in per_model.values()),
+            failed=sum(m.failed for m in per_model.values()),
+            retries=sum(m.retries for m in per_model.values()),
+            unavailable=sum(m.unavailable for m in per_model.values()),
+            breaker_opens=sum(m.breaker_opens for m in per_model.values()),
+            breakers={
+                name: snap
+                for name, srv in self._servers.items()
+                if (snap := srv.breaker_snapshot()) is not None
+            },
         )

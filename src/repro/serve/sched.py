@@ -25,6 +25,15 @@ consult the core for every decision:
   model's long batches cannot monopolise the execution lane and ruin a
   light model's p95 (``fifo`` mode is the ablation baseline: strict
   arrival order, no isolation);
+- :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *deterministic* jitter (hash-seeded, not ``random``), so transient
+  kernel/pool faults are absorbed without thundering-herd retries and
+  without a single nondeterministic sleep in tests;
+- :class:`CircuitBreaker` — per-model fail-fast: a windowed error rate
+  past the threshold opens the breaker, submits shed immediately with
+  :class:`~repro.serve.server.ModelUnavailable` instead of wasting pool
+  capacity on a broken model, and after a cooldown a half-open probe
+  decides between closing and re-opening;
 - :class:`SchedCore` — the composite the transports drive: per-model
   shape-keyed queues, admission with deadline-aware displacement,
   fairness-ordered batch formation, and the next-timer computation an
@@ -33,6 +42,7 @@ consult the core for every decision:
 from __future__ import annotations
 
 import itertools
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -40,7 +50,9 @@ __all__ = [
     "AdmissionPolicy",
     "Batch",
     "BucketPolicy",
+    "CircuitBreaker",
     "FairnessPolicy",
+    "RetryPolicy",
     "SchedCore",
     "SchedRequest",
     "ShedPolicy",
@@ -324,6 +336,167 @@ class FairnessPolicy:
             self._deficit[model] -= cost
 
 
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    A policy instance answers two questions, both pure: may attempt ``n``
+    be retried (:meth:`should_retry`), and how long to back off before the
+    retry (:meth:`delay`).  The jitter that de-synchronises concurrent
+    retriers is *hashed* from ``(seed, token, attempt)`` rather than drawn
+    from ``random`` — the same request retries on the same schedule in
+    every run, which is what lets the fault-injection suite assert exact
+    virtual-clock timelines.  The caller supplies ``token`` (a request or
+    batch id) so different requests still spread out.
+
+    ``max_attempts`` counts total tries: 1 means fail on first error
+    (retries disabled), 3 means up to two retries.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.002,
+        multiplier: float = 2.0,
+        max_delay: float = 0.25,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("base_delay and max_delay must be >= 0")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether attempt ``attempt`` (0-based) may be followed by another."""
+        return attempt + 1 < self.max_attempts
+
+    def delay(self, attempt: int, token: int = 0) -> float:
+        """Backoff before the retry that follows attempt ``attempt``."""
+        base = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        crc = zlib.crc32(f"{self.seed}:{token}:{attempt}".encode())
+        return base * (1.0 + self.jitter * (crc / 4294967296.0))
+
+
+class CircuitBreaker:
+    """Windowed error-rate circuit breaker (pure, clock-injected).
+
+    States: ``closed`` (all traffic admitted, outcomes recorded in a
+    sliding window), ``open`` (everything rejected until ``cooldown``
+    elapses — the fail-fast that keeps a broken model from dragging the
+    shared pool down), ``half_open`` (up to ``probe_quota`` probe requests
+    admitted; one success closes, one failure re-opens).  Every transition
+    is timestamped in :attr:`transitions`, which is what the chaos soak's
+    "breaker transitions are visible" acceptance gate reads.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        window: int = 32,
+        threshold: float = 0.5,
+        min_samples: int = 8,
+        cooldown: float = 1.0,
+        probe_quota: int = 1,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        if probe_quota < 1:
+            raise ValueError(f"probe_quota must be >= 1, got {probe_quota}")
+        self.window = window
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.cooldown = cooldown
+        self.probe_quota = probe_quota
+        self.state = self.CLOSED
+        self.opens = 0
+        self.closes = 0
+        self.rejected = 0
+        self.transitions: list[tuple[float, str, str]] = []
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._opened_at: float | None = None
+        self._probes_issued = 0
+
+    def _transition(self, now: float, state: str) -> None:
+        self.transitions.append((now, self.state, state))
+        self.state = state
+        if state == self.OPEN:
+            self.opens += 1
+            self._opened_at = now
+        elif state == self.CLOSED:
+            self.closes += 1
+            self._outcomes.clear()
+        elif state == self.HALF_OPEN:
+            self._probes_issued = 0
+
+    def error_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for ok in self._outcomes if not ok) / len(self._outcomes)
+
+    def allow(self, now: float) -> bool:
+        """May a request be admitted right now?  (Counts rejections.)"""
+        if self.state == self.OPEN:
+            if self._opened_at is not None \
+                    and now >= self._opened_at + self.cooldown:
+                self._transition(now, self.HALF_OPEN)
+            else:
+                self.rejected += 1
+                return False
+        if self.state == self.HALF_OPEN:
+            if self._probes_issued >= self.probe_quota:
+                self.rejected += 1
+                return False
+            self._probes_issued += 1
+        return True
+
+    def record(self, success: bool, now: float) -> None:
+        """Fold one request outcome in; may transition the state."""
+        if self.state == self.HALF_OPEN:
+            # A probe decided: one success is evidence of recovery, one
+            # failure means the cooldown restarts from now.
+            self._transition(now, self.CLOSED if success else self.OPEN)
+            return
+        self._outcomes.append(success)
+        if (
+            self.state == self.CLOSED
+            and len(self._outcomes) >= self.min_samples
+            and self.error_rate() >= self.threshold
+        ):
+            self._transition(now, self.OPEN)
+
+    def snapshot(self) -> dict:
+        """JSON-friendly state for metrics surfaces."""
+        return {
+            "state": self.state,
+            "opens": self.opens,
+            "closes": self.closes,
+            "rejected": self.rejected,
+            "error_rate": self.error_rate(),
+            "transitions": [list(t) for t in self.transitions],
+        }
+
+
 @dataclass
 class _ModelState:
     """Per-model queues, policies and shed/reject accounting."""
@@ -358,6 +531,7 @@ class SchedCore:
         fairness: str = "drr",
         quantum: float | None = None,
         alpha: float = 0.25,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self._defaults = dict(
             bucket_sizes=tuple(bucket_sizes),
@@ -366,6 +540,10 @@ class SchedCore:
             adaptive=adaptive_buckets,
             alpha=alpha,
         )
+        # The transports' backoff policy for transient batch faults; held
+        # here beside the other policies so one SchedCore fully describes a
+        # deployment's scheduling *and* resilience behaviour.
+        self.retry = retry
         self.shed = ShedPolicy(policy=shed_policy)
         self.fairness = FairnessPolicy(
             mode=fairness,

@@ -45,8 +45,14 @@ from typing import Callable
 import numpy as np
 
 from repro.backend import plan_cache_owner_stats, plan_cache_stats
-from repro.serve.engine import ModelExecutor
-from repro.serve.sched import AdmissionPolicy, BucketPolicy, ShedPolicy
+from repro.serve.engine import ModelExecutor, RequestFailed
+from repro.serve.sched import (
+    AdmissionPolicy,
+    BucketPolicy,
+    CircuitBreaker,
+    RetryPolicy,
+    ShedPolicy,
+)
 
 
 class QueueFull(RuntimeError):
@@ -79,6 +85,39 @@ class DeadlineExceeded(RequestShed):
     """
 
 
+class ModelUnavailable(RequestShed):
+    """The model's circuit breaker is open: the request was shed at the door.
+
+    Raised by :meth:`Server.submit` (and the gateway's ``submit``) while the
+    per-model breaker is open — recent batches failed at a rate past the
+    configured threshold, so new work is rejected *fast* instead of queuing
+    behind a broken model and starving the shared pool.  The breaker
+    half-opens after its cooldown and probes; a successful probe closes it
+    and submits flow again.  Counted in ``ServingMetrics.unavailable``.
+    """
+
+
+class ResultTimeout(TimeoutError):
+    """:meth:`Server.wait_result` gave up waiting.
+
+    Carries the ``request_id``, the ``timeout`` waited, and the request's
+    :class:`RequestStatus` at the moment of the timeout — so the caller can
+    tell "still queued behind a slow batch" from "evicted unread" without a
+    second round-trip.  The request itself stays accounted (it is not
+    leaked from ``pending_count``; it may still complete later).
+    """
+
+    def __init__(self, request_id: int, timeout: float,
+                 status: "RequestStatus") -> None:
+        super().__init__(
+            f"request {request_id} not completed in {timeout}s "
+            f"(status: {status.value})"
+        )
+        self.request_id = request_id
+        self.timeout = timeout
+        self.status = status
+
+
 class RequestStatus(str, Enum):
     """Lifecycle answer of :meth:`Server.status` — disambiguates the
     ``result() is None`` cases (still pending vs evicted unread)."""
@@ -87,6 +126,7 @@ class RequestStatus(str, Enum):
     DONE = "DONE"          # completed, result retrievable
     SHED = "SHED"          # dropped unexecuted (shutdown or deadline shed)
     EVICTED = "EVICTED"    # completed but its unread result aged out
+    FAILED = "FAILED"      # executed and failed (RequestFailed retrievable)
 
 
 @dataclass
@@ -136,6 +176,13 @@ class ServingMetrics:
     queue_wait_p95: float = 0.0   # of latency; exec_mean is the other half)
     exec_mean: float = 0.0       # mean per-batch execution wall time
     bucket_target: int = 0       # current adaptive bucket target
+    failed: int = 0              # requests failed with RequestFailed
+    retries: int = 0             # batch forwards retried after transient faults
+    isolated_batches: int = 0    # batches bisected to isolate a failure
+    unavailable: int = 0         # submits shed with ModelUnavailable (breaker)
+    degraded_plans: int = 0      # workloads demoted down the backend chain
+    breaker_state: str = "disabled"  # closed / open / half_open / disabled
+    breaker_opens: int = 0       # times the breaker tripped open
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -173,6 +220,20 @@ class ServerConfig:
     # passed (wait_result raises DeadlineExceeded); None/"newest" keeps the
     # legacy behaviour (only admission control sheds, at the door).
     shed_policy: str | None = None
+    # Fault tolerance.  retry: backoff policy for transient batch faults
+    # (None = fail on first error).  isolate_failures: bisect a raising
+    # batch so only the poisoned request(s) fail.  breaker_window enables a
+    # per-model circuit breaker over the last N request outcomes (None =
+    # disabled); the remaining breaker_* knobs mirror sched.CircuitBreaker.
+    # degrade_after demotes a (shape, bucket) workload one step down the
+    # backend chain after that many consecutive kernel faults (None = off).
+    retry: RetryPolicy | None = None
+    isolate_failures: bool = True
+    breaker_window: int | None = None
+    breaker_threshold: float = 0.5
+    breaker_min_samples: int = 8
+    breaker_cooldown: float = 1.0
+    degrade_after: int | None = None
 
     def __post_init__(self) -> None:
         if not self.bucket_sizes or any(b < 1 for b in self.bucket_sizes):
@@ -189,6 +250,25 @@ class ServerConfig:
                 f"shed_policy must be one of {(None, *ShedPolicy.POLICIES)}, "
                 f"got {self.shed_policy!r}"
             )
+        if self.breaker_window is not None and self.breaker_window < 1:
+            raise ValueError(
+                f"breaker_window must be >= 1 or None, got {self.breaker_window}"
+            )
+        if self.degrade_after is not None and self.degrade_after < 1:
+            raise ValueError(
+                f"degrade_after must be >= 1 or None, got {self.degrade_after}"
+            )
+
+    def make_breaker(self) -> CircuitBreaker | None:
+        """A fresh :class:`CircuitBreaker` per these knobs (None = disabled)."""
+        if self.breaker_window is None:
+            return None
+        return CircuitBreaker(
+            window=self.breaker_window,
+            threshold=self.breaker_threshold,
+            min_samples=self.breaker_min_samples,
+            cooldown=self.breaker_cooldown,
+        )
 
     @property
     def max_bucket(self) -> int:
@@ -234,13 +314,16 @@ class Server:
         config: ServerConfig | None = None,
         clock: Callable[[], float] = time.perf_counter,
         name: str | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.config = config or ServerConfig()
         self.clock = clock
+        self.sleep = sleep
         self.name = name
         self._engine = ModelExecutor(
             model, input_shapes=input_shapes,
             bucket_sizes=self.config.bucket_sizes, name=name,
+            degrade_after=self.config.degrade_after,
         )
         self.model = self._engine.model
         self.fused_layers = self._engine.fused_layers
@@ -265,6 +348,10 @@ class Server:
         self._shed_ids: set[int] = set()
         self._deadline_shed_ids: set[int] = set()  # subset of _shed_ids
         self._evicted_ids: set[int] = set()
+        # Per-request terminal failures (RequestFailed), retained/trimmed
+        # like results so wait_result can re-raise them.
+        self._failed: OrderedDict[int, RequestFailed] = OrderedDict()
+        self._breaker = self.config.make_breaker()
         self._worker: threading.Thread | None = None
         self._stopping = False
         self.reset_metrics()
@@ -293,6 +380,10 @@ class Server:
             self._completed = 0
             self._rejected = 0
             self._shed = 0
+            self._failed_count = 0
+            self._retry_count = 0
+            self._isolations = 0
+            self._unavailable = 0
             self._shed_deadline = 0
             self._deadline_misses = 0
             self._deadline_total = 0  # completions that carried a deadline
@@ -369,7 +460,19 @@ class Server:
                 exec_mean=sum(self._exec_seconds) / len(self._exec_seconds)
                 if self._exec_seconds else 0.0,
                 bucket_target=self._buckets.target_bucket(),
+                failed=self._failed_count,
+                retries=self._retry_count,
+                isolated_batches=self._isolations,
+                unavailable=self._unavailable,
+                degraded_plans=len(self._engine.degraded()),
+                breaker_state=self._breaker.state if self._breaker else "disabled",
+                breaker_opens=self._breaker.opens if self._breaker else 0,
             )
+
+    def breaker_snapshot(self) -> dict | None:
+        """The circuit breaker's state/transition snapshot (None = disabled)."""
+        with self._lock:
+            return self._breaker.snapshot() if self._breaker else None
 
     # -- request lifecycle ----------------------------------------------------
 
@@ -397,6 +500,13 @@ class Server:
         now = self.clock()
         run_shape = None
         with self._cond:
+            if self._breaker is not None and not self._breaker.allow(now):
+                self._unavailable += 1
+                raise ModelUnavailable(
+                    f"model {self.name or '<unnamed>'} is unavailable: circuit "
+                    f"breaker open (error rate "
+                    f"{self._breaker.error_rate():.0%} over recent batches)"
+                )
             if self._admission.at_capacity(self._pending_total):
                 if self._shed_policy.policy == "deadline":
                     self._shed_blown_locked(now)
@@ -484,30 +594,42 @@ class Server:
     def status(self, request_id: int) -> RequestStatus:
         """Lifecycle state of a request id this server handed out.
 
-        ``DONE`` — completed, :meth:`result` returns it; ``PENDING`` —
-        queued or executing right now; ``SHED`` — dropped unexecuted
-        (shutdown shed or deadline shed); ``EVICTED`` — completed but its
-        unread result aged out past ``result_capacity`` (or its shed record
-        was trimmed).  Raises :class:`KeyError` for an id this server never
+        ``DONE`` — completed, :meth:`result` returns it; ``FAILED`` —
+        executed and failed (:meth:`wait_result` raises its
+        :class:`~repro.serve.engine.RequestFailed`); ``PENDING`` — queued
+        or executing right now; ``SHED`` — dropped unexecuted (shutdown
+        shed or deadline shed); ``EVICTED`` — completed but its unread
+        result aged out past ``result_capacity`` (or its shed record was
+        trimmed).  Raises :class:`KeyError` for an id this server never
         issued.
         """
         with self._lock:
-            if request_id in self._results:
-                return RequestStatus.DONE
-            if request_id in self._shed_ids:
-                return RequestStatus.SHED
-            if request_id in self._inflight:
-                return RequestStatus.PENDING
-            for queue in self._pending.values():
-                for request in queue:
-                    if request.id == request_id:
-                        return RequestStatus.PENDING
-            if request_id in self._evicted_ids or 0 <= request_id <= self._last_id:
-                # Every issued id was accepted (allocation happens after
-                # admission), so an issued-but-untracked id can only have
-                # aged out of the results/shed retention bounds.
-                return RequestStatus.EVICTED
+            return self._status_locked(request_id)
+
+    def _status_locked(self, request_id: int) -> RequestStatus:
+        if request_id in self._results:
+            return RequestStatus.DONE
+        if request_id in self._failed:
+            return RequestStatus.FAILED
+        if request_id in self._shed_ids:
+            return RequestStatus.SHED
+        if request_id in self._inflight:
+            return RequestStatus.PENDING
+        for queue in self._pending.values():
+            for request in queue:
+                if request.id == request_id:
+                    return RequestStatus.PENDING
+        if request_id in self._evicted_ids or 0 <= request_id <= self._last_id:
+            # Every issued id was accepted (allocation happens after
+            # admission), so an issued-but-untracked id can only have
+            # aged out of the results/shed retention bounds.
+            return RequestStatus.EVICTED
         raise KeyError(f"request id {request_id} was never issued by this server")
+
+    def failure(self, request_id: int) -> RequestFailed | None:
+        """The request's :class:`RequestFailed`, or ``None`` if it did not fail."""
+        with self._lock:
+            return self._failed.get(request_id)
 
     def wait_result(self, request_id: int, timeout: float = 10.0) -> RequestResult:
         """Block until a request completes (threaded mode).
@@ -516,14 +638,19 @@ class Server:
         eviction.  Register the wait before or soon after submitting: a
         result that went unread past ``result_capacity`` completions
         *before* the waiter arrived has been evicted and times out here.
-        Raises :class:`DeadlineExceeded` for deadline-shed requests and
-        :class:`RequestShed` for shutdown-shed ones.
+        Raises :class:`DeadlineExceeded` for deadline-shed requests,
+        :class:`RequestShed` for shutdown-shed ones,
+        :class:`~repro.serve.engine.RequestFailed` for requests whose
+        execution failed, and :class:`ResultTimeout` (a ``TimeoutError``
+        carrying the request's :meth:`status`) when the wait gives up.
         """
         deadline = time.monotonic() + timeout
         with self._cond:
             self._waiting.add(request_id)
             try:
                 while request_id not in self._results:
+                    if request_id in self._failed:
+                        raise self._failed[request_id]
                     if request_id in self._shed_ids:
                         if request_id in self._deadline_shed_ids:
                             raise DeadlineExceeded(
@@ -535,8 +662,8 @@ class Server:
                         )
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        raise TimeoutError(
-                            f"request {request_id} not completed in {timeout}s"
+                        raise ResultTimeout(
+                            request_id, timeout, self._status_locked(request_id)
                         )
                     self._cond.wait(remaining)
                 return self._results[request_id]
@@ -580,15 +707,29 @@ class Server:
     def _run_batch(self, shape: tuple, requests: list[Request]) -> None:
         n = len(requests)
         bucket = self.config.bucket_for(n)
-        out, timing = self._engine.run(
-            [r.image for r in requests], bucket, clock=self.clock
+        rows, errors, stats, timing = self._engine.run_resilient(
+            [r.image for r in requests], bucket, clock=self.clock,
+            request_ids=[r.id for r in requests],
+            retry=self.config.retry, sleep=self.sleep,
+            isolate=self.config.isolate_failures,
         )
         done = timing.finished
+        completed = 0
         with self._cond:
             for i, request in enumerate(requests):
+                self._inflight.discard(request.id)
+                if i in errors:
+                    # Terminal per-request failure: accounted (never silent),
+                    # retrievable, and re-raised by wait_result.
+                    self._failed[request.id] = errors[i]
+                    self._failed_count += 1
+                    if self._breaker is not None:
+                        self._breaker.record(False, done)
+                    continue
+                completed += 1
                 self._results[request.id] = RequestResult(
                     id=request.id,
-                    output=out[i].copy(),
+                    output=rows[i].copy(),
                     latency=done - request.submitted_at,
                     batch_requests=n,
                     bucket_size=bucket,
@@ -596,14 +737,23 @@ class Server:
                 )
                 self._latencies.append(done - request.submitted_at)
                 self._queue_waits.append(timing.started - request.submitted_at)
-                self._inflight.discard(request.id)
+                if self._breaker is not None:
+                    self._breaker.record(True, done)
                 if request.deadline is not None:
                     self._deadline_total += 1
                     # Finishing exactly at the deadline meets the SLO;
                     # only strictly-later completions are misses.
                     if done > request.deadline:
                         self._deadline_misses += 1
-            self._completed += n
+            self._retry_count += stats.retries
+            if stats.splits:
+                self._isolations += 1
+            if len(self._failed) > self.config.result_capacity:
+                # Same retention bound as unread results.
+                while len(self._failed) > self.config.result_capacity:
+                    rid, _ = self._failed.popitem(last=False)
+                    self._evicted_ids.add(rid)
+            self._completed += completed
             # Bound unread-result retention: a long-running server must not
             # accumulate output rows forever if clients never fetch them.
             # Results someone is blocked in wait_result() on are kept.

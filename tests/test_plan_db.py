@@ -123,6 +123,59 @@ def test_reload_picks_up_foreign_appends(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# Corruption tolerance: torn writes must not take the shared file down
+# ---------------------------------------------------------------------------
+
+def test_load_quarantines_corrupt_rows_and_reports(tmp_path, caplog):
+    path = tmp_path / "plans.jsonl"
+    wl = conv_wl()
+    good = json.dumps({"workload": wl.to_key(), "env": env_stamp(),
+                       "plan": {"k_tile": 8}})
+    path.write_text(
+        "\n".join([
+            good,
+            good[: len(good) // 2],                    # torn write (truncated)
+            "{not json at all",                        # garbage
+            json.dumps(["wrong", "type"]),             # not a dict
+            json.dumps({"workload": 42, "env": {}, "plan": {}}),  # bad field
+            json.dumps({"workload": wl.to_key()}),     # missing keys
+            "",                                        # blank line: not an error
+        ]) + "\n"
+    )
+    with caplog.at_level("WARNING", logger="repro.backend.plan_db"):
+        db = PlanDatabase(path)
+    # The one valid row loaded; the five bad rows were skipped and counted.
+    assert db.lookup(wl) == {"k_tile": 8}
+    assert db.load_report() == {"path": str(path), "loaded": 1, "skipped": 5}
+    # One env-stamped quarantine line naming the file and the bad lines.
+    quarantine = [r for r in caplog.records if "quarantined" in r.getMessage()]
+    assert len(quarantine) == 1
+    message = quarantine[0].getMessage()
+    assert str(path) in message and "5 corrupt row(s)" in message
+    assert "2,3,4,5,6" in message and "env" in message
+
+
+def test_injected_torn_write_is_survived_by_fresh_load(tmp_path):
+    from repro.faults import FaultInjector, FaultSpec, use_faults
+
+    path = tmp_path / "plans.jsonl"
+    db = PlanDatabase(path)
+    wl_ok, wl_torn = conv_wl(), conv_wl(n=4)
+    db.record(wl_ok, {"k_tile": 8})
+    inj = FaultInjector([FaultSpec(site="plan_db_row", rate=1.0, max_fires=1)])
+    with use_faults(inj):
+        db.record(wl_torn, {"k_tile": 16})     # the on-disk row is truncated
+    # The writing process keeps its in-memory entry (the write tore, the
+    # record didn't), and a fresh process skips the torn row but still sees
+    # every intact one.
+    assert db.lookup(wl_torn) == {"k_tile": 16}
+    fresh = PlanDatabase(path)
+    assert fresh.lookup(wl_ok) == {"k_tile": 8}
+    assert fresh.lookup(wl_torn) is None
+    assert fresh.load_report()["skipped"] == 1
+
+
+# ---------------------------------------------------------------------------
 # Activation: set_plan_db / use_plan_db / tuned_plan
 # ---------------------------------------------------------------------------
 
