@@ -22,7 +22,7 @@ import asyncio
 
 import numpy as np
 
-from repro.serve import AsyncGateway, DeadlineExceeded, GatewayConfig
+from repro.serve import AsyncGateway, DeadlineExceeded, ServingPolicy
 from repro.utils import seed_all
 
 seed_all(0)
@@ -37,11 +37,10 @@ def image():
 async def main():
     # 1. Two models behind one gateway.  The heavy model's batches cost
     #    ~4x the light one's, priced into the DRR fairness accounting.
-    gw = AsyncGateway(GatewayConfig(bucket_sizes=(1, 2, 4, 8),
+    gw = AsyncGateway(ServingPolicy(bucket_sizes=(1, 2, 4, 8),
                                     max_latency=0.02,
                                     adaptive_buckets=True,
-                                    shed_policy="deadline",
-                                    fairness="drr"))
+                                    shed_policy="deadline"))
     gw.register("light", "mobilenet", input_shapes=[INPUT],
                 scheme="scc", width_mult=0.25, seed=1, request_cost=1.0)
     gw.register("heavy", "resnet18", input_shapes=[INPUT],

@@ -20,7 +20,7 @@ import threading
 import numpy as np
 
 from repro.backend import PLAN_CACHE, clear_plan_cache, plan_cache_stats
-from repro.serve import QueueFull, Router, ServerConfig
+from repro.serve import QueueFull, Router, ServingPolicy
 from repro.utils import seed_all
 
 seed_all(0)
@@ -29,8 +29,8 @@ INPUT = (3, 16, 16)
 # 1. Three models behind one router.  Registering by registry name routes
 #    through models.build_serving_model (seeded weights, eval mode); the
 #    per-bucket plan pre-builds are attributed to each model's owner tag.
-router = Router(server_config=ServerConfig(bucket_sizes=(1, 2, 4, 8),
-                                           max_latency=0.05))
+router = Router(server_config=ServingPolicy(bucket_sizes=(1, 2, 4, 8),
+                                            max_latency=0.05))
 router.register("hot", "mobilenet", input_shapes=[INPUT],
                 scheme="scc", width_mult=0.25, seed=1)
 router.register("warm", "mobilenet", input_shapes=[INPUT],
@@ -82,8 +82,8 @@ PLAN_CACHE.resize(1024)
 # 4. Admission control: a model with a bounded queue sheds on overload.
 router.register("bounded", "mobilenet", input_shapes=[INPUT],
                 scheme="scc", width_mult=0.25, seed=5,
-                config=ServerConfig(bucket_sizes=(8,), max_latency=60.0,
-                                    max_pending=4))
+                config=ServingPolicy(bucket_sizes=(8,), max_latency=60.0,
+                                     max_pending=4))
 rejected = 0
 for _ in range(10):
     try:

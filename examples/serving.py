@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.backend import plan_cache_stats
 from repro.models import build_model
-from repro.serve import Server, ServerConfig
+from repro.serve import Server, ServingPolicy
 from repro.utils import seed_all
 
 seed_all(0)
@@ -41,7 +41,7 @@ print("plan cache after pre-build:", plan_cache_stats())
 server = Server(
     model,
     input_shapes=[INPUT],
-    config=ServerConfig(bucket_sizes=(1, 2, 4, 8), max_latency=0.02),
+    config=ServingPolicy(bucket_sizes=(1, 2, 4, 8), max_latency=0.02),
 )
 server.reset_metrics()
 

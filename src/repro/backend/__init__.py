@@ -104,6 +104,7 @@ from repro.backend.plan import (
     conv2d_fused_plan,
     conv2d_plan,
     conv_out_size,
+    dispatch_plan,
     planned_einsum,
     pool2d_plan,
     scc_plan,
@@ -127,13 +128,21 @@ from repro.backend.schedule import (
 )
 
 from repro.backend.parallel import (
+    EXECUTOR_TIERS,
+    Executor,
+    InlineExecutor,
     ShardError,
+    ThreadExecutor,
     default_num_workers,
+    get_executor,
     get_num_workers,
     num_workers,
     parallel_map,
+    set_executor,
     set_num_workers,
     submit_pooled,
+    use_executor,
+    worker_limit,
 )
 from repro.backend.registry import env_backend_order
 
@@ -161,12 +170,20 @@ __all__ = [
     "register_kernel",
     "ShardError",
     "NUMBA_AVAILABLE",
+    "EXECUTOR_TIERS",
+    "Executor",
+    "InlineExecutor",
+    "ThreadExecutor",
     "default_num_workers",
+    "get_executor",
     "get_num_workers",
     "num_workers",
     "parallel_map",
+    "set_executor",
     "set_num_workers",
     "submit_pooled",
+    "use_executor",
+    "worker_limit",
     "KernelStats",
     "scc_conflict_fraction",
     "PLAN_CACHE",
@@ -191,6 +208,7 @@ __all__ = [
     "conv2d_fused_plan",
     "conv2d_plan",
     "conv_out_size",
+    "dispatch_plan",
     "planned_einsum",
     "pool2d_plan",
     "scc_plan",

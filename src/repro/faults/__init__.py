@@ -16,6 +16,7 @@ from repro.faults.plane import (
     PoisonedRequest,
     active_faults,
     clear_faults,
+    derive_worker_seed,
     install_faults,
     use_faults,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "PoisonedRequest",
     "active_faults",
     "clear_faults",
+    "derive_worker_seed",
     "install_faults",
     "use_faults",
 ]

@@ -35,7 +35,12 @@ from repro.gpusim.timeline import (
     plan_build_time,
     training_step_time,
 )
-from repro.gpusim.multigpu import ring_allreduce_time, data_parallel_step_time
+from repro.gpusim.multigpu import (
+    data_parallel_step_time,
+    host_fabric_device,
+    host_process_step_time,
+    ring_allreduce_time,
+)
 
 __all__ = [
     "StatsCrossCheck",
@@ -60,4 +65,6 @@ __all__ = [
     "plan_build_time",
     "ring_allreduce_time",
     "data_parallel_step_time",
+    "host_fabric_device",
+    "host_process_step_time",
 ]

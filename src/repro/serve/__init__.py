@@ -37,6 +37,7 @@ per-model :class:`CircuitBreaker` is open), :class:`ResultTimeout` (a
 """
 from repro.serve.engine import BatchTiming, ExecStats, ModelExecutor, RequestFailed
 from repro.serve.gateway import AsyncGateway, GatewayConfig
+from repro.serve.policy import ServingPolicy
 from repro.serve.router import Router, RouterHandle, RouterMetrics
 from repro.serve.sched import (
     AdmissionPolicy,
@@ -62,6 +63,7 @@ from repro.serve.server import (
     ServerConfig,
     ServingMetrics,
 )
+from repro.serve.sharded import HashRing, ShardedRouter
 
 __all__ = [
     "AdmissionPolicy",
@@ -74,6 +76,7 @@ __all__ = [
     "ExecStats",
     "FairnessPolicy",
     "GatewayConfig",
+    "HashRing",
     "ModelExecutor",
     "ModelUnavailable",
     "QueueFull",
@@ -92,4 +95,6 @@ __all__ = [
     "Server",
     "ServerConfig",
     "ServingMetrics",
+    "ServingPolicy",
+    "ShardedRouter",
 ]

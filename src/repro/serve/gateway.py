@@ -36,7 +36,8 @@ import numpy as np
 
 from repro.backend import plan_owner, submit_pooled
 from repro.serve.engine import ModelExecutor, RequestFailed
-from repro.serve.sched import Batch, CircuitBreaker, RetryPolicy, SchedCore, SchedRequest
+from repro.serve.policy import GatewayConfig, ServingPolicy
+from repro.serve.sched import Batch, CircuitBreaker, SchedCore, SchedRequest
 from repro.serve.server import (
     DeadlineExceeded,
     ModelUnavailable,
@@ -48,43 +49,10 @@ from repro.serve.server import (
 
 __all__ = ["AsyncGateway", "GatewayConfig"]
 
-
-@dataclass
-class GatewayConfig:
-    """SLO knobs of the asyncio front-end (per-model defaults)."""
-
-    bucket_sizes: tuple[int, ...] = (1, 2, 4, 8)
-    max_latency: float = 0.01      # seconds a request may wait for batch-mates
-    max_pending: int | None = None  # admission bound per model (None = unbounded)
-    adaptive_buckets: bool = True  # EWMA arrival-rate bucket adaptation
-    shed_policy: str = "deadline"  # "deadline" | "newest"
-    fairness: str = "drr"          # "drr" | "fifo"
-    quantum: float | None = None   # DRR quantum (cost units); default max bucket
-    # Batches in flight on the worker pool at once, across models.  None
-    # sizes it to the pool: more would only queue inside the executor.
-    max_concurrent_batches: int | None = None
-    # Fault tolerance (same contract as the sync ServerConfig knobs):
-    # backoff retries for transient batch/pool faults, bisect isolation of
-    # poisoned requests, a per-model circuit breaker over recent request
-    # outcomes, and backend-chain degradation per workload.
-    retry: RetryPolicy | None = None
-    isolate_failures: bool = True
-    breaker_window: int | None = None
-    breaker_threshold: float = 0.5
-    breaker_min_samples: int = 8
-    breaker_cooldown: float = 1.0
-    degrade_after: int | None = None
-
-    def make_breaker(self) -> CircuitBreaker | None:
-        """A fresh per-model :class:`CircuitBreaker` (None = disabled)."""
-        if self.breaker_window is None:
-            return None
-        return CircuitBreaker(
-            window=self.breaker_window,
-            threshold=self.breaker_threshold,
-            min_samples=self.breaker_min_samples,
-            cooldown=self.breaker_cooldown,
-        )
+# GatewayConfig moved to repro.serve.policy: the shared knobs now live on
+# ServingPolicy and GatewayConfig is a deprecated shim re-exported here
+# (with the gateway's historical adaptive/deadline defaults) for the
+# one-release compatibility window.
 
 
 @dataclass
@@ -128,11 +96,11 @@ class AsyncGateway:
 
     def __init__(
         self,
-        config: GatewayConfig | None = None,
+        config: ServingPolicy | None = None,
         clock: Callable[[], float] = time.perf_counter,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
-        self.config = config or GatewayConfig()
+        self.config = GatewayConfig.coerce(config)
         self.clock = clock
         self.sleep = sleep  # backoff sleeps inside pooled batch execution
         self.core = SchedCore(
@@ -140,7 +108,7 @@ class AsyncGateway:
             max_latency=self.config.max_latency,
             max_pending=self.config.max_pending,
             adaptive_buckets=self.config.adaptive_buckets,
-            shed_policy=self.config.shed_policy,
+            shed_policy=self.config.shed_policy or "newest",
             fairness=self.config.fairness,
             quantum=self.config.quantum,
         )
@@ -165,7 +133,7 @@ class AsyncGateway:
         model,
         input_shapes: tuple | list = ((3, 32, 32),),
         request_cost: float = 1.0,
-        exec_estimate: float = 0.0,
+        exec_estimate: float | None = None,
         **build_kwargs,
     ) -> None:
         """Add a model under ``name`` (module or registry name, like
@@ -174,7 +142,10 @@ class AsyncGateway:
         ``request_cost`` prices one padded batch slot for the DRR fairness
         accounting (a model whose batches run ~20x longer should cost
         ~20x); ``exec_estimate`` sharpens deadline shedding by the expected
-        batch execution time.
+        batch execution time.  The default (``None``) auto-calibrates: the
+        estimate follows an EWMA of this model's measured batch execution
+        spans (``SchedCore.observe_exec``), so operators no longer have to
+        guess the knob — pass an explicit value only to pin it.
         """
         if name in self._models:
             raise ValueError(f"model {name!r} already registered")
@@ -349,6 +320,12 @@ class AsyncGateway:
         n = len(batch.requests)
         runtime.batch_records.append((n, batch.bucket))
         runtime.exec_seconds.append(timing.exec_seconds)
+        # Auto-calibrate the deadline shed's exec_estimate from the span
+        # the batch actually took on the gateway clock — same time base as
+        # the deadlines it will be compared against.
+        self.core.observe_exec(
+            batch.model, max(0.0, timing.finished - timing.started)
+        )
         runtime.retries += stats.retries
         if stats.splits:
             runtime.isolations += 1

@@ -48,11 +48,11 @@ from typing import Callable, NamedTuple
 import numpy as np
 
 from repro.backend import PLAN_CACHE, parallel_map, plan_cache_stats, plan_owner
+from repro.serve.policy import ServingPolicy
 from repro.serve.server import (
     RequestResult,
     RequestStatus,
     Server,
-    ServerConfig,
     ServingMetrics,
 )
 
@@ -114,7 +114,9 @@ class Router:
     Parameters
     ----------
     server_config:
-        default :class:`ServerConfig` for models registered without one.
+        default :class:`~repro.serve.policy.ServingPolicy` (or legacy
+        :class:`~repro.serve.policy.ServerConfig`) for models registered
+        without one.
     clock:
         time source handed to every server (injectable for tests).
     overlap:
@@ -132,7 +134,7 @@ class Router:
 
     def __init__(
         self,
-        server_config: ServerConfig | None = None,
+        server_config: ServingPolicy | None = None,
         clock: Callable[[], float] = time.perf_counter,
         overlap: bool = True,
         cache_owner_floor: int | None = None,
@@ -159,7 +161,7 @@ class Router:
         name: str,
         model,
         input_shapes: tuple | list = ((3, 32, 32),),
-        config: ServerConfig | None = None,
+        config: ServingPolicy | None = None,
         **build_kwargs,
     ) -> Server:
         """Add a model under ``name``; returns its dedicated server.

@@ -506,6 +506,12 @@ class _ModelState:
     buckets: BucketPolicy
     request_cost: float
     exec_estimate: float
+    # Auto-calibration (exec_estimate=None at registration): the estimate
+    # follows an EWMA of measured batch execution spans fed in through
+    # SchedCore.observe_exec.  exec_seen gates the first observation (it
+    # seeds the EWMA rather than averaging against the 0.0 placeholder).
+    exec_auto: bool = False
+    exec_seen: bool = False
     queues: dict[tuple, deque] = field(default_factory=dict)
     pending: int = 0
     shed_deadline: int = 0
@@ -561,7 +567,7 @@ class SchedCore:
         max_latency: float | None = None,
         max_pending: int | None = None,
         request_cost: float = 1.0,
-        exec_estimate: float = 0.0,
+        exec_estimate: float | None = 0.0,
     ) -> None:
         """Register a model's queues and per-model policy knobs.
 
@@ -569,12 +575,18 @@ class SchedCore:
         accounting (relative units — a model whose batches take ~20x
         longer should cost ~20x).  ``exec_estimate`` is the expected batch
         execution time the deadline shed uses to call a budget blown
-        *before* wasting the execution.
+        *before* wasting the execution; ``None`` auto-calibrates it — the
+        estimate starts at 0.0 and follows an EWMA of the measured batch
+        execution spans the transport reports via :meth:`observe_exec`.
         """
         if name in self._models:
             raise ValueError(f"model {name!r} already registered")
         if request_cost <= 0:
             raise ValueError(f"request_cost must be positive, got {request_cost}")
+        if exec_estimate is not None and exec_estimate < 0:
+            raise ValueError(
+                f"exec_estimate must be >= 0 or None, got {exec_estimate}"
+            )
         defaults = self._defaults
         self._models[name] = _ModelState(
             name=name,
@@ -588,8 +600,31 @@ class SchedCore:
                 alpha=defaults["alpha"],
             ),
             request_cost=request_cost,
-            exec_estimate=exec_estimate,
+            exec_estimate=0.0 if exec_estimate is None else exec_estimate,
+            exec_auto=exec_estimate is None,
         )
+
+    def observe_exec(self, model: str, seconds: float,
+                     alpha: float = 0.25) -> float:
+        """Fold one measured batch execution span into the model's estimate.
+
+        Only auto-calibrating models (registered with ``exec_estimate=None``)
+        update — a statically configured estimate is an operator's pin and
+        stays put.  The first observation seeds the EWMA; later ones fold in
+        with ``alpha`` (matching :class:`BucketPolicy`'s arrival smoothing).
+        Returns the current estimate either way, so transports can log it.
+        """
+        state = self._require(model)
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        if not state.exec_auto:
+            return state.exec_estimate
+        if state.exec_seen:
+            state.exec_estimate += alpha * (seconds - state.exec_estimate)
+        else:
+            state.exec_estimate = seconds
+            state.exec_seen = True
+        return state.exec_estimate
 
     def models(self) -> tuple[str, ...]:
         return tuple(self._models)
@@ -769,4 +804,6 @@ class SchedCore:
             "shed_deadline": state.shed_deadline,
             "bucket_target": state.buckets.target_bucket(),
             "arrival_rate": state.buckets.arrival_rate(),
+            "exec_estimate": state.exec_estimate,
+            "exec_auto": state.exec_auto,
         }

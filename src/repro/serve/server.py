@@ -46,13 +46,8 @@ import numpy as np
 
 from repro.backend import plan_cache_owner_stats, plan_cache_stats
 from repro.serve.engine import ModelExecutor, RequestFailed
-from repro.serve.sched import (
-    AdmissionPolicy,
-    BucketPolicy,
-    CircuitBreaker,
-    RetryPolicy,
-    ShedPolicy,
-)
+from repro.serve.policy import ServerConfig, ServingPolicy
+from repro.serve.sched import AdmissionPolicy, BucketPolicy, ShedPolicy
 
 
 class QueueFull(RuntimeError):
@@ -196,90 +191,9 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[rank]
 
 
-@dataclass
-class ServerConfig:
-    """Bucket/flush knobs of the serving front-end."""
-
-    bucket_sizes: tuple[int, ...] = (1, 2, 4, 8)
-    max_latency: float = 0.01    # seconds a request may wait for batch-mates
-    worker_poll_interval: float | None = None  # thread mode; default latency/4
-    # Retention bounds so a long-running server's memory stays flat: unread
-    # results are evicted FIFO past result_capacity, and latency percentiles
-    # are computed over the most recent metrics_window completions.
-    result_capacity: int = 65536
-    metrics_window: int = 65536
-    # Admission control: total queued-but-unexecuted requests this server
-    # accepts before submit() sheds with QueueFull.  None = unbounded.
-    max_pending: int | None = None
-    # Adaptive bucketing: target the smallest bucket the observed arrival
-    # rate can fill within max_latency (sched.BucketPolicy) instead of
-    # always waiting for the max bucket.  Off by default: the fixed-bucket
-    # behaviour is the bitwise-pinned baseline.
-    adaptive_buckets: bool = False
-    # Load shedding: "deadline" drops queued requests whose deadline already
-    # passed (wait_result raises DeadlineExceeded); None/"newest" keeps the
-    # legacy behaviour (only admission control sheds, at the door).
-    shed_policy: str | None = None
-    # Fault tolerance.  retry: backoff policy for transient batch faults
-    # (None = fail on first error).  isolate_failures: bisect a raising
-    # batch so only the poisoned request(s) fail.  breaker_window enables a
-    # per-model circuit breaker over the last N request outcomes (None =
-    # disabled); the remaining breaker_* knobs mirror sched.CircuitBreaker.
-    # degrade_after demotes a (shape, bucket) workload one step down the
-    # backend chain after that many consecutive kernel faults (None = off).
-    retry: RetryPolicy | None = None
-    isolate_failures: bool = True
-    breaker_window: int | None = None
-    breaker_threshold: float = 0.5
-    breaker_min_samples: int = 8
-    breaker_cooldown: float = 1.0
-    degrade_after: int | None = None
-
-    def __post_init__(self) -> None:
-        if not self.bucket_sizes or any(b < 1 for b in self.bucket_sizes):
-            raise ValueError(f"bucket_sizes must be positive, got {self.bucket_sizes}")
-        self.bucket_sizes = tuple(sorted(set(self.bucket_sizes)))
-        if self.max_latency <= 0:
-            raise ValueError(f"max_latency must be positive, got {self.max_latency}")
-        if self.result_capacity < 1 or self.metrics_window < 1:
-            raise ValueError("result_capacity and metrics_window must be >= 1")
-        if self.max_pending is not None and self.max_pending < 1:
-            raise ValueError(f"max_pending must be >= 1 or None, got {self.max_pending}")
-        if self.shed_policy not in (None, *ShedPolicy.POLICIES):
-            raise ValueError(
-                f"shed_policy must be one of {(None, *ShedPolicy.POLICIES)}, "
-                f"got {self.shed_policy!r}"
-            )
-        if self.breaker_window is not None and self.breaker_window < 1:
-            raise ValueError(
-                f"breaker_window must be >= 1 or None, got {self.breaker_window}"
-            )
-        if self.degrade_after is not None and self.degrade_after < 1:
-            raise ValueError(
-                f"degrade_after must be >= 1 or None, got {self.degrade_after}"
-            )
-
-    def make_breaker(self) -> CircuitBreaker | None:
-        """A fresh :class:`CircuitBreaker` per these knobs (None = disabled)."""
-        if self.breaker_window is None:
-            return None
-        return CircuitBreaker(
-            window=self.breaker_window,
-            threshold=self.breaker_threshold,
-            min_samples=self.breaker_min_samples,
-            cooldown=self.breaker_cooldown,
-        )
-
-    @property
-    def max_bucket(self) -> int:
-        return self.bucket_sizes[-1]
-
-    def bucket_for(self, n: int) -> int:
-        """Smallest configured bucket that fits ``n`` requests."""
-        for size in self.bucket_sizes:
-            if n <= size:
-                return size
-        return self.max_bucket
+# ServerConfig moved to repro.serve.policy: the shared knobs now live on
+# ServingPolicy and ServerConfig is a deprecated shim re-exported here for
+# the one-release compatibility window.
 
 
 class Server:
@@ -295,7 +209,10 @@ class Server:
         show up in the metrics as ``plan_builds`` (the cold path the
         pre-building exists to avoid).
     config:
-        bucket sizes, flush deadline, admission bound and shed policy.
+        bucket sizes, flush deadline, admission bound and shed policy — a
+        shared :class:`~repro.serve.policy.ServingPolicy` (the legacy
+        :class:`~repro.serve.policy.ServerConfig` still works for one more
+        release).
     clock:
         time source (injectable for deterministic tests).
     name:
@@ -311,12 +228,12 @@ class Server:
         self,
         model,
         input_shapes: tuple | list = ((3, 32, 32),),
-        config: ServerConfig | None = None,
+        config: ServingPolicy | None = None,
         clock: Callable[[], float] = time.perf_counter,
         name: str | None = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
-        self.config = config or ServerConfig()
+        self.config = ServerConfig.coerce(config)
         self.clock = clock
         self.sleep = sleep
         self.name = name

@@ -1,0 +1,207 @@
+"""ServingPolicy consolidation: shim equivalence, deprecation, coercion.
+
+The contract: a bare :class:`ServingPolicy` passed to any transport behaves
+bit-for-bit like the legacy per-transport config carrying the same shared
+fields; the legacy classes still construct (as deprecated shims) and
+``coerce`` normalises every accepted form without emitting the user-facing
+deprecation warning on internal paths.
+"""
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AsyncGateway,
+    GatewayConfig,
+    Server,
+    ServerConfig,
+    ServingPolicy,
+)
+from repro.serve.sched import RetryPolicy, SchedCore
+
+
+def _silent(factory):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return factory()
+
+
+# ---------------------------------------------------------------------------
+# The shared dataclass
+# ---------------------------------------------------------------------------
+
+def test_policy_defaults_match_legacy_server_defaults():
+    policy = ServingPolicy()
+    legacy = _silent(ServerConfig)
+    for name in ("bucket_sizes", "max_latency", "max_pending",
+                 "adaptive_buckets", "shed_policy", "retry",
+                 "isolate_failures", "breaker_window", "degrade_after"):
+        assert getattr(policy, name) == getattr(legacy, name)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="bucket_sizes"):
+        ServingPolicy(bucket_sizes=())
+    with pytest.raises(ValueError, match="bucket_sizes"):
+        ServingPolicy(bucket_sizes=(0, 2))
+    with pytest.raises(ValueError, match="max_latency"):
+        ServingPolicy(max_latency=0.0)
+    with pytest.raises(ValueError, match="max_pending"):
+        ServingPolicy(max_pending=0)
+    with pytest.raises(ValueError, match="shed_policy"):
+        ServingPolicy(shed_policy="oldest")
+    with pytest.raises(ValueError, match="breaker_window"):
+        ServingPolicy(breaker_window=0)
+    with pytest.raises(ValueError, match="degrade_after"):
+        ServingPolicy(degrade_after=0)
+
+
+def test_policy_sorts_and_dedups_buckets():
+    assert ServingPolicy(bucket_sizes=(8, 2, 2, 4)).bucket_sizes == (2, 4, 8)
+
+
+def test_policy_bucket_helpers():
+    policy = ServingPolicy(bucket_sizes=(2, 4, 8))
+    assert policy.max_bucket == 8
+    assert policy.bucket_for(1) == 2
+    assert policy.bucket_for(3) == 4
+    assert policy.bucket_for(9) == 8
+
+
+def test_make_breaker_mirrors_knobs():
+    assert ServingPolicy().make_breaker() is None
+    breaker = ServingPolicy(
+        breaker_window=16, breaker_threshold=0.25,
+        breaker_min_samples=4, breaker_cooldown=2.0,
+    ).make_breaker()
+    assert breaker is not None
+    assert breaker.window == 16
+    assert breaker.threshold == 0.25
+
+
+# ---------------------------------------------------------------------------
+# Deprecated shims
+# ---------------------------------------------------------------------------
+
+def test_direct_shim_construction_warns():
+    for shim in (ServerConfig, GatewayConfig):
+        with pytest.warns(DeprecationWarning, match=shim.__name__):
+            shim()
+
+
+def test_internal_coercion_never_warns():
+    policy = ServingPolicy(max_latency=0.02)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        ServerConfig.coerce(None)
+        ServerConfig.coerce(policy)
+        GatewayConfig.coerce(None)
+        GatewayConfig.coerce(policy)
+        GatewayConfig.from_policy(policy, fairness="fifo")
+
+
+def test_coerce_forms():
+    policy = ServingPolicy(max_latency=0.02, breaker_window=4)
+    lifted = ServerConfig.coerce(policy)
+    assert isinstance(lifted, ServerConfig)
+    assert lifted.max_latency == 0.02
+    assert lifted.breaker_window == 4
+    assert lifted.result_capacity == 65536   # extras keep their defaults
+
+    legacy = _silent(lambda: ServerConfig(max_latency=0.03))
+    assert ServerConfig.coerce(legacy) is legacy   # instances pass through
+
+    assert ServerConfig.coerce(None).max_latency == ServingPolicy().max_latency
+    with pytest.raises(TypeError, match="ServingPolicy"):
+        ServerConfig.coerce({"max_latency": 0.02})
+
+
+def test_gateway_shim_keeps_historical_defaults():
+    config = GatewayConfig.coerce(None)
+    assert config.adaptive_buckets is True
+    assert config.shed_policy == "deadline"
+    assert config.fairness == "drr"
+    # A bare policy means what it says: gateway defaults do NOT leak in.
+    lifted = GatewayConfig.coerce(ServingPolicy())
+    assert lifted.adaptive_buckets is False
+    assert lifted.shed_policy is None
+
+
+def test_from_policy_carries_retry_and_extras():
+    policy = ServingPolicy(retry=RetryPolicy(max_attempts=3), max_pending=7)
+    config = GatewayConfig.from_policy(policy, max_concurrent_batches=2)
+    assert config.retry is policy.retry
+    assert config.max_pending == 7
+    assert config.max_concurrent_batches == 2
+
+
+def test_shims_pickle_without_warning():
+    legacy = _silent(lambda: ServerConfig(max_latency=0.02))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        clone = pickle.loads(pickle.dumps(legacy))
+    assert clone == legacy
+
+
+# ---------------------------------------------------------------------------
+# Transports accept a bare policy
+# ---------------------------------------------------------------------------
+
+def test_server_accepts_policy_and_legacy_equally():
+    from repro.models import build_serving_model
+
+    policy = ServingPolicy(bucket_sizes=(1, 2), max_latency=1.0)
+    legacy = _silent(lambda: ServerConfig(bucket_sizes=(1, 2), max_latency=1.0))
+    image = np.random.default_rng(0).standard_normal((3, 16, 16))
+    image = image.astype(np.float32)
+    outs = []
+    for config in (policy, legacy):
+        model = build_serving_model("mobilenet", scheme="scc",
+                                    width_mult=0.25, seed=9)
+        server = Server(model, input_shapes=[(3, 16, 16)], config=config)
+        handle = server.submit(image)
+        server.flush()
+        outs.append(server.result(handle).output)
+        assert isinstance(server.config, ServerConfig)
+    np.testing.assert_array_equal(outs[0], outs[1])
+
+
+def test_gateway_accepts_policy():
+    gateway = AsyncGateway(ServingPolicy(bucket_sizes=(1, 2)))
+    assert isinstance(gateway.config, GatewayConfig)
+    # Policy semantics preserved: no deadline shedding unless asked for.
+    assert gateway.config.shed_policy is None
+
+
+# ---------------------------------------------------------------------------
+# exec_estimate auto-calibration (SchedCore.observe_exec)
+# ---------------------------------------------------------------------------
+
+def test_observe_exec_seeds_then_ewma():
+    core = SchedCore(bucket_sizes=(1,))
+    core.add_model("m", exec_estimate=None)
+    assert core.stats("m")["exec_auto"] is True
+    assert core.stats("m")["exec_estimate"] == 0.0
+    assert core.observe_exec("m", 0.10) == pytest.approx(0.10)   # seed
+    est = core.observe_exec("m", 0.20, alpha=0.25)               # EWMA
+    assert est == pytest.approx(0.10 + 0.25 * (0.20 - 0.10))
+    assert core.stats("m")["exec_estimate"] == pytest.approx(est)
+
+
+def test_observe_exec_static_estimates_never_move():
+    core = SchedCore(bucket_sizes=(1,))
+    core.add_model("m", exec_estimate=0.05)
+    assert core.stats("m")["exec_auto"] is False
+    assert core.observe_exec("m", 10.0) == 0.05
+    assert core.stats("m")["exec_estimate"] == 0.05
+
+
+def test_observe_exec_validation():
+    core = SchedCore(bucket_sizes=(1,))
+    core.add_model("m", exec_estimate=None)
+    with pytest.raises(ValueError, match="seconds"):
+        core.observe_exec("m", -1.0)
+    with pytest.raises(ValueError):
+        core.add_model("bad", exec_estimate=-0.1)

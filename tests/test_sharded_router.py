@@ -1,0 +1,132 @@
+"""Sharded multi-process serving: ring determinism, bitwise equality.
+
+The load-bearing guarantee: a model served by a :class:`ShardedRouter`
+shard process returns **bitwise-identical** outputs to the same registry
+model served by an in-process :class:`Router` — shards rebuild weights
+deterministically from ``(registry name, seed)``, so no array ever crosses
+the process boundary during registration.
+"""
+import numpy as np
+import pytest
+
+from repro.models import build_serving_model
+from repro.serve import HashRing, Router, ServingPolicy, ShardedRouter
+from repro.utils import seed_all
+
+INPUT = (3, 16, 16)
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_all(77)
+
+
+def _images(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(INPUT).astype(np.float32) for _ in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# HashRing
+# ---------------------------------------------------------------------------
+
+def test_ring_deterministic_across_instances():
+    a, b = HashRing(4), HashRing(4)
+    keys = [f"model-{i}" for i in range(64)]
+    assert [a.owner(k) for k in keys] == [b.owner(k) for k in keys]
+
+
+def test_ring_covers_all_shards():
+    ring = HashRing(4)
+    owners = {ring.owner(f"model-{i}") for i in range(256)}
+    assert owners == {0, 1, 2, 3}
+
+
+def test_ring_growth_remaps_a_minority():
+    keys = [f"model-{i}" for i in range(512)]
+    before, after = HashRing(4), HashRing(5)
+    moved = sum(before.owner(k) != after.owner(k) for k in keys)
+    # Consistent hashing: ~1/(N+1) of keys move; allow generous slack but
+    # require far less churn than the ~4/5 a modulo assignment would cause.
+    assert moved / len(keys) < 0.45
+
+
+def test_ring_validation():
+    with pytest.raises(ValueError, match="shards"):
+        HashRing(0)
+    with pytest.raises(ValueError, match="replicas"):
+        HashRing(2, replicas=0)
+
+
+# ---------------------------------------------------------------------------
+# ShardedRouter
+# ---------------------------------------------------------------------------
+
+def test_sharded_outputs_bitwise_equal_in_process_router():
+    images = _images(6, seed=5)
+    policy = ServingPolicy(bucket_sizes=(1, 2), max_latency=5.0)
+
+    reference = Router(server_config=policy)
+    reference.register("narrow", "mobilenet", input_shapes=[INPUT],
+                       scheme="scc", width_mult=0.25, seed=11)
+    reference.register("wide", "mobilenet", input_shapes=[INPUT],
+                       scheme="scc", width_mult=0.5, seed=12)
+    expect = {}
+    for name in ("narrow", "wide"):
+        handles = [reference.submit(name, img) for img in images[:3]]
+        reference.flush()
+        expect[name] = [reference.result(h).output for h in handles]
+
+    with ShardedRouter(shards=2, server_config=policy) as sharded:
+        sharded.register("narrow", "mobilenet", input_shapes=[INPUT],
+                         scheme="scc", width_mult=0.25, seed=11)
+        sharded.register("wide", "mobilenet", input_shapes=[INPUT],
+                         scheme="scc", width_mult=0.5, seed=12)
+        for name in ("narrow", "wide"):
+            handles = [sharded.submit(name, img) for img in images[:3]]
+            sharded.flush()
+            for handle, ref in zip(handles, expect[name]):
+                got = sharded.result(handle).output
+                np.testing.assert_array_equal(ref, got)
+
+        metrics = sharded.metrics()
+        assert metrics["shards"] == 2
+        assert metrics["completed"] == 6
+        assert set(metrics["model_shards"]) == {"narrow", "wide"}
+        assert len(metrics["per_shard"]) == 2
+
+
+def test_sharded_rejects_built_models_and_duplicates():
+    with ShardedRouter(shards=1) as sharded:
+        model = build_serving_model("mobilenet", scheme="scc",
+                                    width_mult=0.25, seed=3)
+        with pytest.raises(TypeError, match="registry name"):
+            sharded.register("m", model, input_shapes=[INPUT])
+        sharded.register("m", "mobilenet", input_shapes=[INPUT],
+                         scheme="scc", width_mult=0.25, seed=3)
+        with pytest.raises(ValueError, match="already registered"):
+            sharded.register("m", "mobilenet", input_shapes=[INPUT],
+                             scheme="scc", width_mult=0.25, seed=3)
+        with pytest.raises(KeyError, match="no model"):
+            sharded.shard_of("ghost")
+
+
+def test_sharded_assignment_follows_ring():
+    with ShardedRouter(shards=3) as sharded:
+        shard = sharded.register("m", "mobilenet", input_shapes=[INPUT],
+                                 scheme="scc", width_mult=0.25, seed=3)
+        assert shard == sharded.ring.owner("m")
+        assert sharded.shard_of("m") == shard
+        assert sharded.models() == ("m",)
+
+
+def test_sharded_shard_errors_proxied():
+    with ShardedRouter(shards=1) as sharded:
+        sharded.register("m", "mobilenet", input_shapes=[INPUT],
+                         scheme="scc", width_mult=0.25, seed=3)
+        with pytest.raises(ValueError, match="C, H, W"):
+            # A malformed image raises inside the shard; the exception
+            # crosses the pipe and re-raises here.
+            sharded.submit("m", np.zeros((7, 7), dtype=np.float32))
+    # stop() is idempotent (context manager already stopped it).
+    sharded.stop()
